@@ -1,0 +1,393 @@
+// Command snnsec is the command-line interface of the reproduction. It
+// trains the paper's models, attacks them, runs the (Vth, T) exploration
+// of Algorithm 1, and regenerates each figure of the evaluation.
+//
+// Usage:
+//
+//	snnsec fig1            motivational CNN-vs-SNN study (Figure 1)
+//	snnsec grid            learnability + robustness heat maps (Figures 6-8)
+//	snnsec fig9            tracked (Vth,T) combinations vs CNN (Figure 9)
+//	snnsec train           train one model and save a checkpoint
+//	snnsec attack          attack a saved checkpoint
+//	snnsec info            inspect a checkpoint
+//	snnsec analyze         activity / gradient-masking diagnostics vs Vth
+//	snnsec version         print the library version
+//
+// Every subcommand accepts -h for its flags. The global environment
+// variables SNNSEC_SCALE=paper and SNNSEC_MNIST_DIR=<dir> switch to the
+// paper-scale preset and to real MNIST data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	snnsec "snnsec"
+	"snnsec/internal/analysis"
+	"snnsec/internal/attack"
+	"snnsec/internal/core"
+	"snnsec/internal/modelio"
+	"snnsec/internal/nn"
+	"snnsec/internal/report"
+	"snnsec/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "snnsec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "fig1":
+		return cmdFig1(args[1:])
+	case "grid":
+		return cmdGrid(args[1:])
+	case "fig9":
+		return cmdFig9(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "attack":
+		return cmdAttack(args[1:])
+	case "info":
+		return cmdInfo(args[1:])
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "version":
+		fmt.Println("snnsec", snnsec.Version)
+		return nil
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `snnsec — SNN adversarial-robustness exploration (DATE'21 reproduction)
+
+subcommands:
+  fig1     motivational CNN-vs-SNN robustness curves (Figure 1)
+  grid     (Vth, T) learnability and robustness heat maps (Figures 6-8)
+  fig9     tracked combinations vs the CNN (Figure 9)
+  train    train a model and save a checkpoint
+  attack   attack a saved checkpoint
+  info     inspect a checkpoint
+  analyze  spike-activity and gradient-masking diagnostics vs Vth
+  version  print version
+
+environment:
+  SNNSEC_SCALE=paper     use the paper-scale preset (slow)
+  SNNSEC_MNIST_DIR=dir   load real MNIST IDX files from dir
+`)
+}
+
+func cmdFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	res, err := core.RunFig1(s, os.Stderr)
+	if err != nil {
+		return err
+	}
+	report.WriteCurves(os.Stdout, "Figure 1 — PGD on CNN vs SNN (default structural parameters)", []report.Series{
+		{Name: "CNN", Points: res.CNN},
+		{Name: fmt.Sprintf("SNN(%g,%d)", s.DefaultVth, s.DefaultT), Points: res.SNN},
+	})
+	if eps, ok := res.Crossover(); ok {
+		fmt.Printf("crossover (paper's 'turnaround point'): eps = %g\n", eps)
+	} else {
+		fmt.Println("no crossover observed in this sweep")
+	}
+	return nil
+}
+
+func cmdGrid(args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	csvDir := fs.String("csv", "", "directory to write fig6/fig7/fig8 CSV files into")
+	jsonPath := fs.String("json", "", "path to write the full grid result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	res, err := core.RunGrid(s, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		if err := res.SaveJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote grid result to %s\n", *jsonPath)
+	}
+	acc := report.AccuracyGrid(res)
+	acc.WriteASCII(os.Stdout)
+	fmt.Println()
+	grids := []*report.Grid{acc}
+	names := []string{"fig6_accuracy.csv"}
+	for i, eps := range s.HeatmapEpsilons {
+		g := report.RobustnessGrid(res, eps)
+		g.WriteASCII(os.Stdout)
+		fmt.Println()
+		grids = append(grids, g)
+		names = append(names, fmt.Sprintf("fig%d_robustness_eps%g.csv", 7+i, eps))
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for i, g := range grids {
+			f, err := os.Create(*csvDir + "/" + names[i])
+			if err != nil {
+				return err
+			}
+			g.WriteCSV(f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(grids), *csvDir)
+	}
+	return nil
+}
+
+func cmdFig9(args []string) error {
+	fs := flag.NewFlagSet("fig9", flag.ContinueOnError)
+	auto := fs.Bool("auto", false, "run the grid first and track its best/worst/medium points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	var res *core.Fig9Result
+	var err error
+	if *auto {
+		grid, gerr := core.RunGrid(s, os.Stderr)
+		if gerr != nil {
+			return gerr
+		}
+		res, err = core.RunFig9(s, core.SelectFig9Combos(grid), os.Stderr)
+	} else {
+		res, err = core.RunFig9(s, nil, os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	series := []report.Series{{Name: "CNN", Points: res.CNN}}
+	for _, c := range res.Combos {
+		series = append(series, report.Series{
+			Name:   fmt.Sprintf("SNN(%g,%d)", c.Vth, c.T),
+			Points: c.Curve,
+		})
+	}
+	report.WriteCurves(os.Stdout, "Figure 9 — tracked (Vth, T) combinations vs CNN under PGD", series)
+	fmt.Printf("max robustness gap over CNN: %.3f (paper reports up to 0.85)\n", res.MaxGapOverCNN())
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	model := fs.String("model", "snn", "model kind: cnn or snn")
+	vth := fs.Float64("vth", 1, "SNN firing threshold")
+	T := fs.Int("T", 12, "SNN time window")
+	out := fs.String("out", "", "checkpoint output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	trainDS, testDS, err := core.LoadData(s.Data)
+	if err != nil {
+		return err
+	}
+	var params []*nn.Param
+	var acc float64
+	meta := map[string]string{"scale": s.Name, "model": *model}
+	switch *model {
+	case "cnn":
+		var cnn *nn.Sequential
+		cnn, acc, err = s.TrainCNN(trainDS, testDS)
+		if err != nil {
+			return err
+		}
+		params = cnn.Params()
+	case "snn":
+		net, netAcc, nerr := s.TrainSNN(*vth, *T, trainDS, testDS)
+		if nerr != nil {
+			return nerr
+		}
+		acc = netAcc
+		params = net.Params()
+		meta["vth"] = strconv.FormatFloat(*vth, 'g', -1, 64)
+		meta["T"] = strconv.Itoa(*T)
+	default:
+		return fmt.Errorf("unknown model kind %q", *model)
+	}
+	meta["test_accuracy"] = strconv.FormatFloat(acc, 'f', 4, 64)
+	fmt.Printf("trained %s: test accuracy %.4f\n", *model, acc)
+	if *out != "" {
+		if err := modelio.SaveFile(*out, meta, params); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	ckpt := fs.String("ckpt", "", "checkpoint path (required)")
+	kind := fs.String("attack", "pgd", "attack kind: pgd, fgsm, gaussian")
+	epsList := fs.String("eps", "0.5,1.0,1.5", "comma-separated noise budgets")
+	steps := fs.Int("steps", 10, "PGD iterations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckpt == "" {
+		return fmt.Errorf("attack: -ckpt is required")
+	}
+	m, err := modelio.LoadFile(*ckpt)
+	if err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	_, testDS, err := core.LoadData(s.Data)
+	if err != nil {
+		return err
+	}
+	victim, err := rebuildModel(s, m)
+	if err != nil {
+		return err
+	}
+	bounds := attack.DatasetBounds(testDS)
+	var epsilons []float64
+	for _, part := range strings.Split(*epsList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("attack: bad eps %q", part)
+		}
+		epsilons = append(epsilons, v)
+	}
+	for _, eps := range epsilons {
+		var atk attack.Attack
+		switch *kind {
+		case "pgd":
+			atk = attack.PGD{Eps: eps, Steps: *steps, RandomStart: true, Rand: tensor.NewRand(1, 1), Bounds: bounds}
+		case "fgsm":
+			atk = attack.FGSM{Eps: eps, Bounds: bounds}
+		case "gaussian":
+			atk = attack.GaussianNoise{Std: eps, Rand: tensor.NewRand(1, 1), Bounds: bounds}
+		default:
+			return fmt.Errorf("unknown attack %q", *kind)
+		}
+		ev := attack.Evaluate(victim, testDS, atk, s.EvalBatch)
+		fmt.Println(ev.String())
+	}
+	return nil
+}
+
+// rebuildModel reconstructs the victim from checkpoint metadata and
+// applies the saved weights.
+func rebuildModel(s core.Scale, m *modelio.Model) (nn.Classifier, error) {
+	switch m.Meta["model"] {
+	case "cnn":
+		cnn, err := core.NewLeNet5CNN(s.Net)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Apply(cnn.Params()); err != nil {
+			return nil, err
+		}
+		return cnn, nil
+	case "snn":
+		vth, err := strconv.ParseFloat(m.Meta["vth"], 64)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint lacks vth: %w", err)
+		}
+		T, err := strconv.Atoi(m.Meta["T"])
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint lacks T: %w", err)
+		}
+		net, err := core.NewSpikingLeNet5(s.Net, vth, T, core.SNNOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Apply(net.Params()); err != nil {
+			return nil, err
+		}
+		return net, nil
+	default:
+		return nil, fmt.Errorf("checkpoint has unknown model kind %q", m.Meta["model"])
+	}
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: usage: snnsec info <checkpoint>")
+	}
+	m, err := modelio.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println("metadata:")
+	for k, v := range m.Meta {
+		fmt.Printf("  %s = %s\n", k, v)
+	}
+	total := 0
+	fmt.Println("parameters:")
+	for _, p := range m.Params {
+		fmt.Printf("  %-24s %v (%d)\n", p.Name, p.Data.Shape(), p.Data.Len())
+		total += p.Data.Len()
+	}
+	fmt.Printf("total: %d parameters\n", total)
+	return nil
+}
+
+// cmdAnalyze trains one SNN and reports how its spiking activity and
+// white-box attack surface change when the inference threshold is swept —
+// the mechanism behind the paper's (Vth, T) robustness dependence.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	vth := fs.Float64("vth", 1, "training threshold")
+	T := fs.Int("T", 12, "time window")
+	sweep := fs.String("sweep", "0.25,0.5,1,1.5,2.25", "comma-separated inference thresholds to probe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	trainDS, testDS, err := core.LoadData(s.Data)
+	if err != nil {
+		return err
+	}
+	net, acc, err := s.TrainSNN(*vth, *T, trainDS, testDS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SNN(Vth=%g, T=%d) clean accuracy %.3f\n\n", *vth, *T, acc)
+	var vths []float64
+	for _, part := range strings.Split(*sweep, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("analyze: bad threshold %q", part)
+		}
+		vths = append(vths, v)
+	}
+	rows := analysis.SweepVth(net, testDS, vths, s.EvalBatch)
+	analysis.WriteVthSweep(os.Stdout, rows)
+	return nil
+}

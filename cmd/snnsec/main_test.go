@@ -1,0 +1,102 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snnsec/internal/core"
+	"snnsec/internal/modelio"
+	"snnsec/internal/nn"
+	"snnsec/internal/tensor"
+)
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	err := run([]string{"bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunVersionAndHelp(t *testing.T) {
+	if err := run([]string{"version"}); err != nil {
+		t.Errorf("version: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestInfoUsage(t *testing.T) {
+	if err := run([]string{"info"}); err == nil {
+		t.Error("info without args accepted")
+	}
+	if err := run([]string{"info", "/nonexistent/ckpt"}); err == nil {
+		t.Error("info on missing file accepted")
+	}
+}
+
+func TestAttackRequiresCkpt(t *testing.T) {
+	if err := run([]string{"attack"}); err == nil || !strings.Contains(err.Error(), "-ckpt") {
+		t.Errorf("attack without ckpt: %v", err)
+	}
+}
+
+func TestInfoOnRealCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	r := tensor.NewRand(1, 1)
+	params := []*nn.Param{nn.NewParam("w", tensor.RandN(r, 0, 1, 2, 2))}
+	if err := modelio.SaveFile(path, map[string]string{"model": "cnn"}, params); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"info", path}); err != nil {
+		t.Errorf("info: %v", err)
+	}
+}
+
+func TestRebuildModelUnknownKind(t *testing.T) {
+	s := core.BenchScale()
+	m := &modelio.Model{Meta: map[string]string{"model": "transformer"}}
+	if _, err := rebuildModel(s, m); err == nil {
+		t.Error("unknown model kind accepted")
+	}
+	m = &modelio.Model{Meta: map[string]string{"model": "snn"}}
+	if _, err := rebuildModel(s, m); err == nil {
+		t.Error("snn checkpoint without vth accepted")
+	}
+}
+
+func TestTrainBadModelKind(t *testing.T) {
+	if err := run([]string{"train", "-model", "mlp"}); err == nil {
+		t.Error("unknown model kind accepted by train")
+	}
+}
+
+func TestTrainAttackRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI round trip in -short mode")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "cnn.ckpt")
+	if err := run([]string{"train", "-model", "cnn", "-out", ckpt}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := run([]string{"info", ckpt}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := run([]string{"attack", "-ckpt", ckpt, "-attack", "fgsm", "-eps", "0.5"}); err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	if err := run([]string{"attack", "-ckpt", ckpt, "-attack", "nope", "-eps", "0.5"}); err == nil {
+		t.Error("unknown attack kind accepted")
+	}
+	if err := run([]string{"attack", "-ckpt", ckpt, "-eps", "abc"}); err == nil {
+		t.Error("malformed eps accepted")
+	}
+}

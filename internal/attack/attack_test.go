@@ -1,0 +1,261 @@
+package attack
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"snnsec/internal/dataset"
+	"snnsec/internal/nn"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+	"snnsec/internal/train"
+)
+
+func testData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultSynthConfig(n, 99)
+	cfg.Size = 12
+	d, err := dataset.SynthDigits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Normalize()
+	return d
+}
+
+func trainedCNN(t *testing.T, ds *dataset.Dataset, seed uint64) *nn.Sequential {
+	t.Helper()
+	r := tensor.NewRand(seed, 0)
+	model := nn.NewSequential(
+		nn.NewConv2D(r, 1, 6, 3, 2, 1),
+		nn.ReLU{},
+		nn.Flatten{},
+		nn.NewLinear(r, 6*6*6, 10),
+	)
+	if _, err := train.Fit(model, ds, train.Config{Epochs: 8, BatchSize: 24, Optimizer: train.NewAdam(3e-3)}); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func trainedSNN(t *testing.T, ds *dataset.Dataset, seed uint64) *snn.Network {
+	t.Helper()
+	r := tensor.NewRand(seed, 0)
+	cfg := snn.NeuronConfig{Vth: 0.75, Alpha: 0.9, Reset: snn.ResetZero, Surrogate: snn.FastSigmoid{Beta: 5}}
+	net := &snn.Network{
+		Encoder: snn.ConstantCurrentEncoder{Gain: 1},
+		Hidden: []snn.Layer{
+			{Syn: nn.NewSequential(nn.NewConv2D(r, 1, 6, 3, 2, 1), nn.Flatten{}), Cfg: cfg},
+		},
+		Readout:    nn.NewLinear(r, 6*6*6, 10),
+		ReadoutCfg: cfg,
+		Mode:       snn.ReadoutSpikeCount,
+		T:          8,
+		LogitScale: 10,
+	}
+	if _, err := train.Fit(net, ds, train.Config{Epochs: 8, BatchSize: 24, Optimizer: train.NewAdam(3e-3), GradClip: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestInputGradientNonZero(t *testing.T) {
+	ds := testData(t, 40)
+	model := trainedCNN(t, ds, 1)
+	b := ds.Batches(8)[0]
+	g := InputGradient(model, b.X, b.Y)
+	if tensor.Sum(tensor.Abs(g)) == 0 {
+		t.Fatal("input gradient identically zero")
+	}
+	if !g.SameShape(b.X) {
+		t.Fatal("gradient shape mismatch")
+	}
+}
+
+func TestFGSMRespectsBudgetAndBounds(t *testing.T) {
+	ds := testData(t, 40)
+	model := trainedCNN(t, ds, 2)
+	lo, hi := ds.Bounds()
+	atk := FGSM{Eps: 0.3, Bounds: Bounds{Lo: lo, Hi: hi}}
+	b := ds.Batches(16)[0]
+	adv := atk.Perturb(model, b.X, b.Y)
+	if d := tensor.NormInf(tensor.Sub(adv, b.X)); d > 0.3+1e-9 {
+		t.Errorf("FGSM L∞ distortion %v exceeds ε", d)
+	}
+	if tensor.Max(adv) > hi+1e-9 || tensor.Min(adv) < lo-1e-9 {
+		t.Error("FGSM left pixel bounds")
+	}
+	// Original untouched.
+	if !b.X.AllClose(ds.Batches(16)[0].X, 0) {
+		t.Error("FGSM mutated its input")
+	}
+}
+
+func TestPGDRespectsBudgetAndBounds(t *testing.T) {
+	ds := testData(t, 40)
+	model := trainedCNN(t, ds, 3)
+	atk := PGD{Eps: 0.5, Steps: 5, RandomStart: true, Rand: tensor.NewRand(1, 1), Bounds: DatasetBounds(ds)}
+	b := ds.Batches(16)[0]
+	adv := atk.Perturb(model, b.X, b.Y)
+	if d := tensor.NormInf(tensor.Sub(adv, b.X)); d > 0.5+1e-9 {
+		t.Errorf("PGD L∞ distortion %v exceeds ε", d)
+	}
+	lo, hi := ds.Bounds()
+	if tensor.Max(adv) > hi+1e-9 || tensor.Min(adv) < lo-1e-9 {
+		t.Error("PGD left pixel bounds")
+	}
+}
+
+func TestPGDDefaults(t *testing.T) {
+	a := PGD{Eps: 1}
+	if a.effectiveSteps() != 10 {
+		t.Errorf("default steps = %d", a.effectiveSteps())
+	}
+	if math.Abs(a.effectiveAlpha()-0.25) > 1e-12 {
+		t.Errorf("default alpha = %v, want 2.5·ε/steps = 0.25", a.effectiveAlpha())
+	}
+	if !strings.Contains(a.Name(), "pgd") {
+		t.Error("bad name")
+	}
+}
+
+func TestPGDRandomStartNeedsRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandomStart without generator did not panic")
+		}
+	}()
+	ds := testData(t, 10)
+	model := trainedCNN(t, ds, 4)
+	b := ds.Batches(4)[0]
+	PGD{Eps: 0.1, RandomStart: true, Bounds: DatasetBounds(ds)}.Perturb(model, b.X, b.Y)
+}
+
+func TestPGDDegradesAccuracyMoreThanFGSM(t *testing.T) {
+	ds := testData(t, 80)
+	model := trainedCNN(t, ds, 5)
+	bounds := DatasetBounds(ds)
+	eps := 1.0
+	evF := Evaluate(model, ds, FGSM{Eps: eps, Bounds: bounds}, 20)
+	evP := Evaluate(model, ds, PGD{Eps: eps, Steps: 10, Bounds: bounds}, 20)
+	if evP.RobustAccuracy > evF.RobustAccuracy+0.05 {
+		t.Errorf("PGD (%v) should be at least as strong as FGSM (%v)", evP.RobustAccuracy, evF.RobustAccuracy)
+	}
+	if evF.CleanAccuracy < 0.5 {
+		t.Fatalf("model too weak for the comparison: clean %v", evF.CleanAccuracy)
+	}
+}
+
+func TestStrongPGDBreaksCNN(t *testing.T) {
+	ds := testData(t, 60)
+	model := trainedCNN(t, ds, 6)
+	ev := Evaluate(model, ds, PGD{Eps: 3, Steps: 15, Bounds: DatasetBounds(ds)}, 20)
+	if ev.RobustAccuracy > ev.CleanAccuracy/2 {
+		t.Errorf("huge-ε PGD barely hurt the CNN: clean %v, robust %v", ev.CleanAccuracy, ev.RobustAccuracy)
+	}
+}
+
+func TestWhiteBoxPGDWorksOnSNN(t *testing.T) {
+	// The central mechanic of the paper: PGD must be able to attack the
+	// SNN through surrogate-gradient BPTT.
+	ds := testData(t, 60)
+	net := trainedSNN(t, ds, 7)
+	evClean := Evaluate(net, ds, Identity{}, 20)
+	if evClean.CleanAccuracy < 0.4 {
+		t.Fatalf("SNN too weak to attack meaningfully: %v", evClean.CleanAccuracy)
+	}
+	ev := Evaluate(net, ds, PGD{Eps: 3, Steps: 10, Bounds: DatasetBounds(ds)}, 20)
+	if ev.RobustAccuracy >= ev.CleanAccuracy {
+		t.Errorf("PGD had no effect on the SNN: clean %v, robust %v", ev.CleanAccuracy, ev.RobustAccuracy)
+	}
+}
+
+func TestGaussianNoiseBaseline(t *testing.T) {
+	ds := testData(t, 40)
+	model := trainedCNN(t, ds, 8)
+	atk := GaussianNoise{Std: 0.1, Rand: tensor.NewRand(2, 2), Bounds: DatasetBounds(ds)}
+	b := ds.Batches(16)[0]
+	adv := atk.Perturb(model, b.X, b.Y)
+	if adv.AllClose(b.X, 0) {
+		t.Error("noise attack changed nothing")
+	}
+	lo, hi := ds.Bounds()
+	if tensor.Max(adv) > hi+1e-9 || tensor.Min(adv) < lo-1e-9 {
+		t.Error("noise left bounds")
+	}
+}
+
+func TestGaussianNeedsRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaussianNoise without generator did not panic")
+		}
+	}()
+	GaussianNoise{Std: 0.1}.Perturb(nil, tensor.New(1, 1, 2, 2), nil)
+}
+
+func TestIdentityAttack(t *testing.T) {
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	adv := Identity{}.Perturb(nil, x, nil)
+	if !adv.AllClose(x, 0) {
+		t.Error("identity changed input")
+	}
+	adv.Data()[0] = 9
+	if x.Data()[0] == 9 {
+		t.Error("identity returned the same storage")
+	}
+}
+
+func TestEvaluationMetricsConsistency(t *testing.T) {
+	ds := testData(t, 50)
+	model := trainedCNN(t, ds, 9)
+	ev := Evaluate(model, ds, PGD{Eps: 0.5, Steps: 5, Bounds: DatasetBounds(ds)}, 16)
+	if ev.N != 50 {
+		t.Errorf("N = %d", ev.N)
+	}
+	if ev.RobustAccuracy > ev.CleanAccuracy+1e-9 {
+		t.Errorf("robust accuracy %v exceeds clean %v under attack", ev.RobustAccuracy, ev.CleanAccuracy)
+	}
+	if ev.SuccessRate < 0 || ev.SuccessRate > 1 {
+		t.Errorf("success rate %v out of [0,1]", ev.SuccessRate)
+	}
+	if ev.MeanLinf > 0.5+1e-9 {
+		t.Errorf("mean L∞ %v exceeds ε", ev.MeanLinf)
+	}
+	if !strings.Contains(ev.String(), "pgd") {
+		t.Error("String() lacks attack name")
+	}
+}
+
+func TestCurveMonotoneAnchorsAtClean(t *testing.T) {
+	ds := testData(t, 50)
+	model := trainedCNN(t, ds, 10)
+	bounds := DatasetBounds(ds)
+	eps := []float64{0, 0.5, 2}
+	curve := Curve(model, ds, eps, func(e float64) Attack {
+		return PGD{Eps: e, Steps: 5, Bounds: bounds}
+	}, 16)
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	clean := Evaluate(model, ds, Identity{}, 16).CleanAccuracy
+	if math.Abs(curve[0].RobustAccuracy-clean) > 1e-9 {
+		t.Errorf("ε=0 point %v should equal clean accuracy %v", curve[0].RobustAccuracy, clean)
+	}
+	// PGD at large ε must be no better than at small ε (allowing a tiny
+	// tolerance for attack stochasticity).
+	if curve[2].RobustAccuracy > curve[1].RobustAccuracy+0.1 {
+		t.Errorf("robustness increased with ε: %v", curve)
+	}
+}
+
+func TestFGSMZeroEpsilonIsIdentityModuloClip(t *testing.T) {
+	ds := testData(t, 20)
+	model := trainedCNN(t, ds, 11)
+	b := ds.Batches(8)[0]
+	adv := FGSM{Eps: 0, Bounds: DatasetBounds(ds)}.Perturb(model, b.X, b.Y)
+	if !adv.AllClose(b.X, 1e-12) {
+		t.Error("ε=0 FGSM changed the input")
+	}
+}

@@ -1,0 +1,113 @@
+package attack
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/nn"
+	"snnsec/internal/tensor"
+)
+
+func TestBIMIsPGDWithoutRandomStart(t *testing.T) {
+	b := BIM(0.3, 7, Bounds{Lo: 0, Hi: 1})
+	if b.RandomStart {
+		t.Error("BIM has a random start")
+	}
+	if b.Eps != 0.3 || b.Steps != 7 {
+		t.Errorf("BIM fields: %+v", b)
+	}
+}
+
+func TestBIMDeterministic(t *testing.T) {
+	ds := testData(t, 20)
+	model := trainedCNN(t, ds, 20)
+	b := ds.Batches(8)[0]
+	atk := BIM(0.3, 3, DatasetBounds(ds))
+	a1 := atk.Perturb(model, b.X, b.Y)
+	a2 := atk.Perturb(model, b.X, b.Y)
+	if !a1.AllClose(a2, 0) {
+		t.Error("BIM without random start is not deterministic")
+	}
+}
+
+func TestTargetedPGDBudgetAndDirection(t *testing.T) {
+	ds := testData(t, 40)
+	model := trainedCNN(t, ds, 21)
+	b := ds.Batches(16)[0]
+	atk := TargetedPGD{Eps: 1.0, Steps: 8, Target: 3, Rand: tensor.NewRand(4, 4), Bounds: DatasetBounds(ds)}
+	adv := atk.Perturb(model, b.X, b.Y)
+	if d := tensor.NormInf(tensor.Sub(adv, b.X)); d > 1.0+1e-9 {
+		t.Errorf("targeted PGD exceeded budget: %v", d)
+	}
+	// Perturbing toward class 3 must not reduce how often 3 is predicted.
+	before := atk.Success(model, b.X)
+	after := atk.Success(model, adv)
+	if after < before {
+		t.Errorf("targeted attack moved predictions away from target: %d -> %d", before, after)
+	}
+	if !strings.Contains(atk.Name(), "target=3") {
+		t.Errorf("name: %s", atk.Name())
+	}
+}
+
+func TestL2PGDRespectsSphere(t *testing.T) {
+	ds := testData(t, 40)
+	model := trainedCNN(t, ds, 22)
+	b := ds.Batches(16)[0]
+	eps := 2.0
+	atk := L2PGD{Eps: eps, Steps: 6, Rand: tensor.NewRand(5, 5), Bounds: DatasetBounds(ds)}
+	adv := atk.Perturb(model, b.X, b.Y)
+	if d := tensor.Norm2(tensor.Sub(adv, b.X)); d > eps+1e-6 {
+		t.Errorf("L2 distortion %v exceeds ε=%v", d, eps)
+	}
+	lo, hi := ds.Bounds()
+	if tensor.Max(adv) > hi+1e-9 || tensor.Min(adv) < lo-1e-9 {
+		t.Error("L2 PGD left pixel bounds")
+	}
+}
+
+func TestL2PGDReducesAccuracy(t *testing.T) {
+	ds := testData(t, 60)
+	model := trainedCNN(t, ds, 23)
+	ev := Evaluate(model, ds, L2PGD{Eps: 8, Steps: 8, Bounds: DatasetBounds(ds)}, 20)
+	if ev.RobustAccuracy >= ev.CleanAccuracy {
+		t.Errorf("L2 PGD had no effect: clean %v robust %v", ev.CleanAccuracy, ev.RobustAccuracy)
+	}
+	if !strings.Contains(ev.AttackName, "l2pgd") {
+		t.Errorf("attack name %q", ev.AttackName)
+	}
+}
+
+func TestL2PGDZeroGradientShortCircuits(t *testing.T) {
+	// A constant-logit model has zero input gradient everywhere; the
+	// attack must return promptly with the (possibly noised) input.
+	ds := testData(t, 10)
+	model := constantModel{}
+	b := ds.Batches(4)[0]
+	atk := L2PGD{Eps: 1, Steps: 5, Bounds: DatasetBounds(ds)}
+	adv := atk.Perturb(model, b.X, b.Y)
+	if !adv.AllClose(b.X, 0) {
+		t.Error("zero-gradient L2 attack changed the input without signal")
+	}
+}
+
+func TestProjectLinfKeepsBall(t *testing.T) {
+	x := tensor.FromSlice([]float64{0.5, 0.5}, 2)
+	adv := tensor.FromSlice([]float64{0.95, -0.2}, 2)
+	projectLinf(adv, x, 0.1, Bounds{Lo: 0, Hi: 1})
+	if math.Abs(adv.At(0)-0.6) > 1e-12 || math.Abs(adv.At(1)-0.4) > 1e-12 {
+		t.Errorf("projected = %v", adv)
+	}
+}
+
+// constantModel implements nn.Classifier with constant logits, so the
+// input gradient is identically zero.
+type constantModel struct{}
+
+func (constantModel) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	return tp.Const(tensor.New(x.Data.Dim(0), 10))
+}
+
+func (constantModel) Params() []*nn.Param { return nil }

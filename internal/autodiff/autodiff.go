@@ -1,0 +1,173 @@
+// Package autodiff implements tape-based reverse-mode automatic
+// differentiation over the dense tensors of internal/tensor.
+//
+// A Tape records every operation in creation order. Because a computation
+// graph is always built sequentially, the reverse of the creation order is
+// a valid topological order, so Backward simply walks the tape backwards,
+// calling each node's pullback to accumulate gradients into its parents.
+//
+// Three kinds of nodes exist:
+//
+//   - constants (Const): no gradient is tracked;
+//   - leaves (Leaf / Var): inputs of the graph; their gradient buffer may
+//     alias external storage so optimisers and attacks can read it;
+//   - interior nodes: created by the operations in ops.go or by NewOp.
+//
+// The engine is deliberately single-threaded per tape; run independent
+// tapes on separate goroutines for parallelism (internal/explore does
+// this).
+package autodiff
+
+import (
+	"fmt"
+
+	"snnsec/internal/tensor"
+)
+
+// Tape records operations for reverse-mode differentiation.
+type Tape struct {
+	nodes []*Value
+}
+
+// Value is a node in the computation graph: a tensor plus the bookkeeping
+// needed to backpropagate through the operation that produced it.
+type Value struct {
+	// Data holds the forward result. It must not be mutated after the
+	// node has been consumed by another operation.
+	Data *tensor.Tensor
+	// Grad accumulates dLoss/dData during Backward. It is nil for
+	// constants and lazily allocated for interior nodes.
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	back         func()
+	tape         *Tape
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes (useful for memory accounting
+// in benchmarks).
+func (tp *Tape) Len() int { return len(tp.nodes) }
+
+// Reset discards all recorded nodes so the tape can be reused for the next
+// forward pass without reallocating the slice.
+func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+
+// Const records t as a constant: no gradient flows into it.
+func (tp *Tape) Const(t *tensor.Tensor) *Value {
+	v := &Value{Data: t, tape: tp}
+	tp.nodes = append(tp.nodes, v)
+	return v
+}
+
+// Leaf records t as a differentiable leaf whose gradient accumulates into
+// the provided buffer. grad must have t's shape; it is NOT zeroed here, so
+// gradients accumulate across calls until the caller clears it (this is
+// what lets an optimiser sum gradients over a batch of tapes).
+func (tp *Tape) Leaf(t, grad *tensor.Tensor) *Value {
+	if !t.SameShape(grad) {
+		panic(fmt.Sprintf("autodiff: Leaf grad shape %v does not match data %v", grad.Shape(), t.Shape()))
+	}
+	v := &Value{Data: t, Grad: grad, requiresGrad: true, tape: tp}
+	tp.nodes = append(tp.nodes, v)
+	return v
+}
+
+// Var records t as a differentiable leaf with a freshly zeroed gradient
+// buffer. Use it for inputs under attack.
+func (tp *Tape) Var(t *tensor.Tensor) *Value {
+	return tp.Leaf(t, tensor.New(t.Shape()...))
+}
+
+// RequiresGrad reports whether gradients flow into v.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Shape returns the shape of the node's data.
+func (v *Value) Shape() []int { return v.Data.Shape() }
+
+// ensureGrad lazily allocates the gradient buffer of an interior node.
+func (v *Value) ensureGrad() *tensor.Tensor {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape()...)
+	}
+	return v.Grad
+}
+
+// AccumGrad adds g into v's gradient buffer (allocating it if needed).
+// It is a no-op for nodes that do not require gradients, which is what
+// makes mixing constants and variables free at the call sites.
+func (v *Value) AccumGrad(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	tensor.AddInto(v.ensureGrad(), g)
+}
+
+// NewOp records a custom operation producing out from parents, with back
+// as its pullback. back receives the output gradient and must call
+// AccumGrad on each parent it differentiates into. The returned node
+// requires gradients iff any parent does; when none does, back is dropped
+// and the node degenerates to a constant.
+func (tp *Tape) NewOp(out *tensor.Tensor, back func(gout *tensor.Tensor), parents ...*Value) *Value {
+	req := false
+	for _, p := range parents {
+		if p == nil {
+			continue
+		}
+		if p.tape != tp {
+			panic("autodiff: operation mixes values from different tapes")
+		}
+		if p.requiresGrad {
+			req = true
+		}
+	}
+	v := &Value{Data: out, requiresGrad: req, tape: tp}
+	if req {
+		v.back = func() { back(v.Grad) }
+	}
+	tp.nodes = append(tp.nodes, v)
+	return v
+}
+
+// Backward runs reverse-mode differentiation from root, which must be a
+// one-element tensor (a scalar loss). Gradients accumulate into every
+// reachable leaf's buffer.
+func (tp *Tape) Backward(root *Value) {
+	if root.tape != tp {
+		panic("autodiff: Backward on value from a different tape")
+	}
+	if root.Data.Len() != 1 {
+		panic(fmt.Sprintf("autodiff: Backward root must be scalar, has shape %v", root.Data.Shape()))
+	}
+	if !root.requiresGrad {
+		return // nothing differentiable upstream
+	}
+	root.ensureGrad().Fill(1)
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.back != nil && n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+// BackwardWithSeed runs reverse-mode differentiation seeding root's
+// gradient with seed instead of 1. root may have any shape; seed must
+// match it. This computes vector-Jacobian products.
+func (tp *Tape) BackwardWithSeed(root *Value, seed *tensor.Tensor) {
+	if !root.Data.SameShape(seed) {
+		panic(fmt.Sprintf("autodiff: seed shape %v does not match root %v", seed.Shape(), root.Data.Shape()))
+	}
+	if !root.requiresGrad {
+		return
+	}
+	tensor.AddInto(root.ensureGrad(), seed)
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.back != nil && n.Grad != nil {
+			n.back()
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snnsec/internal/tensor"
+)
+
+func TestAddBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float64{1, 2}, 2))
+	b := tp.Var(tensor.FromSlice([]float64{3, 4}, 2))
+	s := tp.Sum(tp.Add(a, b))
+	tp.Backward(s)
+	if !a.Grad.AllClose(tensor.Ones(2), 1e-12) || !b.Grad.AllClose(tensor.Ones(2), 1e-12) {
+		t.Errorf("Add grads: a=%v b=%v", a.Grad, b.Grad)
+	}
+}
+
+func TestSubBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float64{1, 2}, 2))
+	b := tp.Var(tensor.FromSlice([]float64{3, 4}, 2))
+	s := tp.Sum(tp.Sub(a, b))
+	tp.Backward(s)
+	if !a.Grad.AllClose(tensor.Ones(2), 1e-12) {
+		t.Errorf("a.Grad = %v", a.Grad)
+	}
+	if !b.Grad.AllClose(tensor.Full(-1, 2), 1e-12) {
+		t.Errorf("b.Grad = %v", b.Grad)
+	}
+}
+
+func TestMulBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float64{2, 5}, 2))
+	b := tp.Var(tensor.FromSlice([]float64{7, 11}, 2))
+	s := tp.Sum(tp.Mul(a, b))
+	tp.Backward(s)
+	if !a.Grad.AllClose(b.Data, 1e-12) || !b.Grad.AllClose(a.Data, 1e-12) {
+		t.Errorf("Mul grads: a=%v b=%v", a.Grad, b.Grad)
+	}
+}
+
+func TestScaleAndAddScalarBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float64{1, -1}, 2))
+	s := tp.Sum(tp.AddScalar(tp.Scale(a, 3), 10))
+	tp.Backward(s)
+	if s.Data.Item() != 20+3-3 {
+		t.Errorf("forward = %v", s.Data.Item())
+	}
+	if !a.Grad.AllClose(tensor.Full(3, 2), 1e-12) {
+		t.Errorf("grad = %v", a.Grad)
+	}
+}
+
+func TestMatMulBackwardNumerical(t *testing.T) {
+	r := tensor.NewRand(1, 1)
+	aT := tensor.RandN(r, 0, 1, 3, 4)
+	bT := tensor.RandN(r, 0, 1, 4, 2)
+	aG := tensor.New(3, 4)
+	bG := tensor.New(4, 2)
+	f := func() (*Tape, *Value) {
+		tp := NewTape()
+		a := tp.Leaf(aT, aG)
+		b := tp.Leaf(bT, bG)
+		return tp, tp.Sum(tp.MatMul(a, b))
+	}
+	if _, err := GradCheck(f, []*tensor.Tensor{aT, bT}, []*tensor.Tensor{aG, bG}, 1e-6, 1e-6, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainRuleThroughNonlinearities(t *testing.T) {
+	// loss = mean(tanh(sigmoid(relu(x) * 2 + 1)))
+	r := tensor.NewRand(2, 2)
+	xT := tensor.RandN(r, 0, 1, 8)
+	xG := tensor.New(8)
+	f := func() (*Tape, *Value) {
+		tp := NewTape()
+		x := tp.Leaf(xT, xG)
+		h := tp.AddScalar(tp.Scale(tp.ReLU(x), 2), 1)
+		return tp, tp.Mean(tp.Tanh(tp.Sigmoid(h)))
+	}
+	if _, err := GradCheck(f, []*tensor.Tensor{xT}, []*tensor.Tensor{xG}, 1e-6, 1e-5, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReLUGradAtKink(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{-1, 0, 1}, 3))
+	s := tp.Sum(tp.ReLU(x))
+	tp.Backward(s)
+	want := tensor.FromSlice([]float64{0, 0, 1}, 3)
+	if !x.Grad.AllClose(want, 1e-12) {
+		t.Errorf("ReLU grad = %v, want %v", x.Grad, want)
+	}
+}
+
+func TestReshapeBackward(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	y := tp.Reshape(x, 4)
+	s := tp.Sum(tp.Mul(y, y))
+	tp.Backward(s)
+	want := tensor.FromSlice([]float64{2, 4, 6, 8}, 2, 2)
+	if !x.Grad.AllClose(want, 1e-12) {
+		t.Errorf("Reshape grad = %v, want %v", x.Grad, want)
+	}
+}
+
+func TestConv2DBackwardViaTape(t *testing.T) {
+	r := tensor.NewRand(3, 3)
+	xT := tensor.RandN(r, 0, 1, 1, 2, 5, 5)
+	wT := tensor.RandN(r, 0, 1, 2, 2, 3, 3)
+	bT := tensor.RandN(r, 0, 1, 2)
+	xG, wG, bG := tensor.New(xT.Shape()...), tensor.New(wT.Shape()...), tensor.New(bT.Shape()...)
+	p := tensor.ConvParams{Stride: 1, Padding: 1}
+	f := func() (*Tape, *Value) {
+		tp := NewTape()
+		x := tp.Leaf(xT, xG)
+		w := tp.Leaf(wT, wG)
+		b := tp.Leaf(bT, bG)
+		return tp, tp.Mean(tp.Conv2D(x, w, b, p))
+	}
+	if _, err := GradCheck(f, []*tensor.Tensor{xT, wT, bT}, []*tensor.Tensor{xG, wG, bG}, 1e-6, 1e-5, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolBackwardViaTape(t *testing.T) {
+	r := tensor.NewRand(4, 4)
+	xT := tensor.RandN(r, 0, 1, 1, 1, 4, 4)
+	xG := tensor.New(xT.Shape()...)
+	fAvg := func() (*Tape, *Value) {
+		tp := NewTape()
+		x := tp.Leaf(xT, xG)
+		return tp, tp.Sum(tp.AvgPool2D(x, 2))
+	}
+	if _, err := GradCheck(fAvg, []*tensor.Tensor{xT}, []*tensor.Tensor{xG}, 1e-6, 1e-6, 1); err != nil {
+		t.Errorf("avgpool: %v", err)
+	}
+	fMax := func() (*Tape, *Value) {
+		tp := NewTape()
+		x := tp.Leaf(xT, xG)
+		return tp, tp.Sum(tp.MaxPool2D(x, 2))
+	}
+	if _, err := GradCheck(fMax, []*tensor.Tensor{xT}, []*tensor.Tensor{xG}, 1e-6, 1e-6, 1); err != nil {
+		t.Errorf("maxpool: %v", err)
+	}
+}
+
+func TestSoftmaxCrossEntropyForward(t *testing.T) {
+	tp := NewTape()
+	// Uniform logits: loss = ln(C).
+	logits := tp.Var(tensor.New(2, 4))
+	loss := tp.SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss.Data.Item()-math.Log(4)) > 1e-9 {
+		t.Errorf("uniform CE = %v, want ln4 = %v", loss.Data.Item(), math.Log(4))
+	}
+}
+
+func TestSoftmaxCrossEntropyBackwardNumerical(t *testing.T) {
+	r := tensor.NewRand(5, 5)
+	lT := tensor.RandN(r, 0, 1, 3, 5)
+	lG := tensor.New(3, 5)
+	labels := []int{1, 4, 0}
+	f := func() (*Tape, *Value) {
+		tp := NewTape()
+		l := tp.Leaf(lT, lG)
+		return tp, tp.SoftmaxCrossEntropy(l, labels)
+	}
+	if _, err := GradCheck(f, []*tensor.Tensor{lT}, []*tensor.Tensor{lG}, 1e-6, 1e-6, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradRowsSumToZero(t *testing.T) {
+	// d(CE)/dlogits rows sum to zero: softmax sums to 1, one-hot sums to 1.
+	f := func(seed uint64) bool {
+		r := tensor.NewRand(seed, 6)
+		tp := NewTape()
+		l := tp.Var(tensor.RandN(r, 0, 2, 2, 6))
+		loss := tp.SoftmaxCrossEntropy(l, []int{int(seed % 6), int((seed / 6) % 6)})
+		tp.Backward(loss)
+		for i := 0; i < 2; i++ {
+			var s float64
+			for j := 0; j < 6; j++ {
+				s += l.Grad.At(i, j)
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label did not panic")
+		}
+	}()
+	tp := NewTape()
+	tp.SoftmaxCrossEntropy(tp.Var(tensor.New(1, 3)), []int{3})
+}
+
+func TestConstNoGradient(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(tensor.FromSlice([]float64{1, 2}, 2))
+	x := tp.Var(tensor.FromSlice([]float64{3, 4}, 2))
+	s := tp.Sum(tp.Mul(c, x))
+	tp.Backward(s)
+	if c.Grad != nil {
+		t.Error("constant accumulated a gradient")
+	}
+	if !x.Grad.AllClose(c.Data, 1e-12) {
+		t.Errorf("x.Grad = %v", x.Grad)
+	}
+}
+
+func TestAllConstantGraphBackwardIsNoop(t *testing.T) {
+	tp := NewTape()
+	a := tp.Const(tensor.Ones(2))
+	b := tp.Const(tensor.Ones(2))
+	s := tp.Sum(tp.Add(a, b))
+	tp.Backward(s) // must not panic
+	if s.RequiresGrad() {
+		t.Error("all-constant result requires grad")
+	}
+}
+
+func TestLeafGradAccumulatesAcrossTapes(t *testing.T) {
+	w := tensor.FromSlice([]float64{2}, 1)
+	g := tensor.New(1)
+	for i := 0; i < 3; i++ {
+		tp := NewTape()
+		wv := tp.Leaf(w, g)
+		tp.Backward(tp.Sum(tp.Mul(wv, wv)))
+	}
+	// d(w²)/dw = 2w = 4, accumulated 3 times.
+	if math.Abs(g.At(0)-12) > 1e-12 {
+		t.Errorf("accumulated grad = %v, want 12", g.At(0))
+	}
+}
+
+func TestDiamondGraphAccumulation(t *testing.T) {
+	// y = x*x + x*x: gradient must be 4x, exercising multi-path accumulation.
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{3}, 1))
+	a := tp.Mul(x, x)
+	b := tp.Mul(x, x)
+	s := tp.Sum(tp.Add(a, b))
+	tp.Backward(s)
+	if math.Abs(x.Grad.At(0)-12) > 1e-12 {
+		t.Errorf("diamond grad = %v, want 12", x.Grad.At(0))
+	}
+}
+
+func TestValueReusedTwice(t *testing.T) {
+	// z = relu(x); loss = sum(z) + sum(z*z). dz flows along both paths.
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{2}, 1))
+	z := tp.ReLU(x)
+	loss := tp.Add(tp.Sum(z), tp.Sum(tp.Mul(z, z)))
+	tp.Backward(loss)
+	if math.Abs(x.Grad.At(0)-5) > 1e-12 { // 1 + 2z = 5
+		t.Errorf("grad = %v, want 5", x.Grad.At(0))
+	}
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.New(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on vector did not panic")
+		}
+	}()
+	tp.Backward(x)
+}
+
+func TestBackwardWithSeed(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{1, 2}, 2))
+	y := tp.Mul(x, x) // dy/dx = 2x
+	seed := tensor.FromSlice([]float64{1, 10}, 2)
+	tp.BackwardWithSeed(y, seed)
+	want := tensor.FromSlice([]float64{2, 40}, 2)
+	if !x.Grad.AllClose(want, 1e-12) {
+		t.Errorf("seeded grad = %v, want %v", x.Grad, want)
+	}
+}
+
+func TestConcat0ForwardBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float64{1, 2}, 1, 2))
+	b := tp.Var(tensor.FromSlice([]float64{3, 4, 5, 6}, 2, 2))
+	c := tp.Concat0(a, b)
+	if !c.Data.ShapeEquals(3, 2) {
+		t.Fatalf("concat shape = %v", c.Data.Shape())
+	}
+	s := tp.Sum(tp.Mul(c, c))
+	tp.Backward(s)
+	if !a.Grad.AllClose(tensor.FromSlice([]float64{2, 4}, 1, 2), 1e-12) {
+		t.Errorf("a.Grad = %v", a.Grad)
+	}
+	if !b.Grad.AllClose(tensor.FromSlice([]float64{6, 8, 10, 12}, 2, 2), 1e-12) {
+		t.Errorf("b.Grad = %v", b.Grad)
+	}
+}
+
+func TestDetachBlocksGradient(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{2}, 1))
+	y := tp.Detach(tp.Mul(x, x))
+	s := tp.Sum(tp.Mul(y, y))
+	tp.Backward(s)
+	if x.Grad != nil && tensor.Sum(x.Grad) != 0 {
+		t.Errorf("gradient leaked through Detach: %v", x.Grad)
+	}
+}
+
+func TestMixedTapesPanics(t *testing.T) {
+	tp1, tp2 := NewTape(), NewTape()
+	a := tp1.Var(tensor.New(1))
+	b := tp2.Var(tensor.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing tapes did not panic")
+		}
+	}()
+	tp1.Add(a, b)
+}
+
+func TestTapeReset(t *testing.T) {
+	tp := NewTape()
+	tp.Var(tensor.New(1))
+	if tp.Len() != 1 {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	tp.Reset()
+	if tp.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tp.Len())
+	}
+}
+
+func TestNewOpCustomSquare(t *testing.T) {
+	// A custom op implementing y = x² with pullback 2x·g must match Mul.
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{3, -4}, 2))
+	out := tensor.Mul(x.Data, x.Data)
+	y := tp.NewOp(out, func(g *tensor.Tensor) {
+		d := tensor.Mul(g, tensor.Scale(x.Data, 2))
+		x.AccumGrad(d)
+	}, x)
+	tp.Backward(tp.Sum(y))
+	want := tensor.FromSlice([]float64{6, -8}, 2)
+	if !x.Grad.AllClose(want, 1e-12) {
+		t.Errorf("custom op grad = %v, want %v", x.Grad, want)
+	}
+}
+
+func TestLeafShapeMismatchPanics(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched leaf grad did not panic")
+		}
+	}()
+	tp.Leaf(tensor.New(2), tensor.New(3))
+}
+
+// Property: gradient of sum(x) is all-ones for any shape.
+func TestSumGradProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%20)
+		r := tensor.NewRand(seed, 9)
+		tp := NewTape()
+		x := tp.Var(tensor.RandN(r, 0, 1, n))
+		tp.Backward(tp.Sum(x))
+		return x.Grad.AllClose(tensor.Ones(n), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity of the gradient — grad of sum(a·x) is a for random a.
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRand(seed, 10)
+		n := 1 + int(seed%10)
+		aT := tensor.RandN(r, 0, 1, n)
+		tp := NewTape()
+		x := tp.Var(tensor.RandN(r, 0, 1, n))
+		a := tp.Const(aT)
+		tp.Backward(tp.Sum(tp.Mul(a, x)))
+		return x.Grad.AllClose(aT, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

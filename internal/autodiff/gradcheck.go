@@ -1,0 +1,65 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"snnsec/internal/tensor"
+)
+
+// GradCheck compares the analytic gradient of a scalar-valued function
+// with central finite differences. f must rebuild the graph from the
+// tensors it closes over on every call and return the scalar loss; params
+// are the tensors perturbed in place. It returns the maximum relative
+// error observed, or an error describing the worst offender when it
+// exceeds tol.
+//
+// stride subsamples the parameter elements (1 = check all) so large
+// tensors stay affordable in tests.
+func GradCheck(f func() (*Tape, *Value), params []*tensor.Tensor, grads []*tensor.Tensor, eps, tol float64, stride int) (float64, error) {
+	if len(params) != len(grads) {
+		return 0, fmt.Errorf("autodiff: gradcheck %d params but %d grads", len(params), len(grads))
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	// Analytic pass.
+	for _, g := range grads {
+		g.Zero()
+	}
+	tp, loss := f()
+	tp.Backward(loss)
+
+	analytic := make([]*tensor.Tensor, len(grads))
+	for i, g := range grads {
+		analytic[i] = g.Clone()
+	}
+
+	eval := func() float64 {
+		_, l := f()
+		return l.Data.Item()
+	}
+
+	worst := 0.0
+	var worstErr error
+	for pi, p := range params {
+		for i := 0; i < p.Len(); i += stride {
+			old := p.Data()[i]
+			p.Data()[i] = old + eps
+			lp := eval()
+			p.Data()[i] = old - eps
+			lm := eval()
+			p.Data()[i] = old
+			num := (lp - lm) / (2 * eps)
+			ana := analytic[pi].Data()[i]
+			rel := math.Abs(num-ana) / math.Max(1, math.Max(math.Abs(num), math.Abs(ana)))
+			if rel > worst {
+				worst = rel
+				if rel > tol {
+					worstErr = fmt.Errorf("autodiff: gradcheck param %d elem %d: numerical %g vs analytic %g (rel %g)", pi, i, num, ana, rel)
+				}
+			}
+		}
+	}
+	return worst, worstErr
+}

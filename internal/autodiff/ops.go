@@ -1,0 +1,255 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"snnsec/internal/tensor"
+)
+
+// Add returns a + b elementwise.
+func (tp *Tape) Add(a, b *Value) *Value {
+	out := tensor.Add(a.Data, b.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(g)
+		b.AccumGrad(g)
+	}, a, b)
+}
+
+// Sub returns a - b elementwise.
+func (tp *Tape) Sub(a, b *Value) *Value {
+	out := tensor.Sub(a.Data, b.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(g)
+		b.AccumGrad(tensor.Neg(g))
+	}, a, b)
+}
+
+// Mul returns the elementwise product a * b.
+func (tp *Tape) Mul(a, b *Value) *Value {
+	out := tensor.Mul(a.Data, b.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Mul(g, b.Data))
+		b.AccumGrad(tensor.Mul(g, a.Data))
+	}, a, b)
+}
+
+// Scale returns a * s for scalar s.
+func (tp *Tape) Scale(a *Value, s float64) *Value {
+	out := tensor.Scale(a.Data, s)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Scale(g, s))
+	}, a)
+}
+
+// AddScalar returns a + s elementwise for scalar s.
+func (tp *Tape) AddScalar(a *Value, s float64) *Value {
+	out := tensor.AddScalar(a.Data, s)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(g)
+	}, a)
+}
+
+// MatMul returns the matrix product a·b of 2-D values.
+func (tp *Tape) MatMul(a, b *Value) *Value {
+	out := tensor.MatMul(a.Data, b.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		// dA = g·Bᵀ, dB = Aᵀ·g
+		a.AccumGrad(tensor.MatMulABT(g, b.Data))
+		b.AccumGrad(tensor.MatMulATB(a.Data, g))
+	}, a, b)
+}
+
+// AddRowVector returns the 2-D value a with 1-D bias v added to each row.
+func (tp *Tape) AddRowVector(a, v *Value) *Value {
+	out := tensor.AddRowVector(a.Data, v.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(g)
+		v.AccumGrad(tensor.SumRows(g))
+	}, a, v)
+}
+
+// Reshape returns a view of a with a new shape. The gradient is reshaped
+// back on the way down.
+func (tp *Tape) Reshape(a *Value, shape ...int) *Value {
+	out := a.Data.Reshape(shape...)
+	inShape := a.Data.Shape()
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(g.Reshape(inShape...))
+	}, a)
+}
+
+// ReLU returns max(a, 0) elementwise.
+func (tp *Tape) ReLU(a *Value) *Value {
+	out := tensor.ReLU(a.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		da := tensor.New(g.Shape()...)
+		ad, gd, dd := a.Data.Data(), g.Data(), da.Data()
+		for i := range dd {
+			if ad[i] > 0 {
+				dd[i] = gd[i]
+			}
+		}
+		a.AccumGrad(da)
+	}, a)
+}
+
+// Sigmoid returns the logistic function of a elementwise.
+func (tp *Tape) Sigmoid(a *Value) *Value {
+	out := tensor.Sigmoid(a.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		da := tensor.New(g.Shape()...)
+		od, gd, dd := out.Data(), g.Data(), da.Data()
+		for i := range dd {
+			dd[i] = gd[i] * od[i] * (1 - od[i])
+		}
+		a.AccumGrad(da)
+	}, a)
+}
+
+// Tanh returns tanh(a) elementwise.
+func (tp *Tape) Tanh(a *Value) *Value {
+	out := tensor.Tanh(a.Data)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		da := tensor.New(g.Shape()...)
+		od, gd, dd := out.Data(), g.Data(), da.Data()
+		for i := range dd {
+			dd[i] = gd[i] * (1 - od[i]*od[i])
+		}
+		a.AccumGrad(da)
+	}, a)
+}
+
+// Conv2D returns the batched 2-D convolution of x [N,C,H,W] with weight
+// [F,C,KH,KW] and optional bias [F] (pass nil for no bias).
+func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
+	var bt *tensor.Tensor
+	if bias != nil {
+		bt = bias.Data
+	}
+	out := tensor.Conv2D(x.Data, weight.Data, bt, p)
+	parents := []*Value{x, weight}
+	if bias != nil {
+		parents = append(parents, bias)
+	}
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		dx, dw, db := tensor.Conv2DBackward(x.Data, weight.Data, g, p, bias != nil)
+		x.AccumGrad(dx)
+		weight.AccumGrad(dw)
+		if bias != nil {
+			bias.AccumGrad(db)
+		}
+	}, parents...)
+}
+
+// AvgPool2D returns k×k average pooling of x [N,C,H,W].
+func (tp *Tape) AvgPool2D(x *Value, k int) *Value {
+	h, w := x.Data.Dim(2), x.Data.Dim(3)
+	out := tensor.AvgPool2D(x.Data, k)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		x.AccumGrad(tensor.AvgPool2DBackward(g, k, h, w))
+	}, x)
+}
+
+// MaxPool2D returns k×k max pooling of x [N,C,H,W].
+func (tp *Tape) MaxPool2D(x *Value, k int) *Value {
+	h, w := x.Data.Dim(2), x.Data.Dim(3)
+	out, arg := tensor.MaxPool2D(x.Data, k)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		x.AccumGrad(tensor.MaxPool2DBackward(g, arg, k, h, w))
+	}, x)
+}
+
+// Sum returns the scalar sum of all elements of a.
+func (tp *Tape) Sum(a *Value) *Value {
+	out := tensor.Scalar(tensor.Sum(a.Data))
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Full(g.Item(), a.Data.Shape()...))
+	}, a)
+}
+
+// Mean returns the scalar mean of all elements of a.
+func (tp *Tape) Mean(a *Value) *Value {
+	n := float64(a.Data.Len())
+	out := tensor.Scalar(tensor.Sum(a.Data) / n)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		a.AccumGrad(tensor.Full(g.Item()/n, a.Data.Shape()...))
+	}, a)
+}
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss between logits
+// [B,C] and integer class labels (len B). The pullback is the standard
+// (softmax − onehot)/B.
+func (tp *Tape) SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
+	if logits.Data.Dims() != 2 {
+		panic(fmt.Sprintf("autodiff: SoftmaxCrossEntropy needs [B,C] logits, got %v", logits.Data.Shape()))
+	}
+	b, c := logits.Data.Dim(0), logits.Data.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("autodiff: %d labels for batch of %d", len(labels), b))
+	}
+	probs := tensor.SoftmaxRows(logits.Data)
+	var loss float64
+	for i, l := range labels {
+		if l < 0 || l >= c {
+			panic(fmt.Sprintf("autodiff: label %d out of range [0,%d)", l, c))
+		}
+		p := probs.At(i, l)
+		loss -= math.Log(math.Max(p, 1e-300))
+	}
+	loss /= float64(b)
+	out := tensor.Scalar(loss)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		scale := g.Item() / float64(b)
+		grad := probs.Clone()
+		for i, l := range labels {
+			grad.Set(grad.At(i, l)-1, i, l)
+		}
+		tensor.ScaleInto(grad, scale)
+		logits.AccumGrad(grad)
+	}, logits)
+}
+
+// Concat0 concatenates values along dimension 0. All inputs must share the
+// trailing shape.
+func (tp *Tape) Concat0(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("autodiff: Concat0 of nothing")
+	}
+	first := vs[0].Data.Shape()
+	rows := 0
+	for _, v := range vs {
+		s := v.Data.Shape()
+		if len(s) != len(first) {
+			panic("autodiff: Concat0 rank mismatch")
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] != first[i] {
+				panic("autodiff: Concat0 trailing-shape mismatch")
+			}
+		}
+		rows += s[0]
+	}
+	shape := append([]int{rows}, first[1:]...)
+	out := tensor.New(shape...)
+	off := 0
+	for _, v := range vs {
+		copy(out.Data()[off:], v.Data.Data())
+		off += v.Data.Len()
+	}
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		off := 0
+		for _, v := range vs {
+			n := v.Data.Len()
+			part := tensor.FromSlice(append([]float64(nil), g.Data()[off:off+n]...), v.Data.Shape()...)
+			v.AccumGrad(part)
+			off += n
+		}
+	}, vs...)
+}
+
+// Detach returns a constant copy of a: the value flows forward but no
+// gradient flows back through it. Used for truncated BPTT.
+func (tp *Tape) Detach(a *Value) *Value {
+	return tp.Const(a.Data.Clone())
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import "math"
+
+// glyphRows are 5×7 bitmap templates for the ten digits, in the style of a
+// classic character generator ROM. '#' marks ink. They are the seed shapes
+// for the SynthDigits generator, which perturbs them with random affine
+// transforms, stroke thickness and noise so that the classification task
+// is non-trivial but learnable by a small network — the role MNIST plays
+// in the paper.
+var glyphRows = [10][7]string{
+	{ // 0
+		" ### ",
+		"#   #",
+		"#  ##",
+		"# # #",
+		"##  #",
+		"#   #",
+		" ### ",
+	},
+	{ // 1
+		"  #  ",
+		" ##  ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+		" ### ",
+	},
+	{ // 2
+		" ### ",
+		"#   #",
+		"    #",
+		"   # ",
+		"  #  ",
+		" #   ",
+		"#####",
+	},
+	{ // 3
+		" ### ",
+		"#   #",
+		"    #",
+		"  ## ",
+		"    #",
+		"#   #",
+		" ### ",
+	},
+	{ // 4
+		"   # ",
+		"  ## ",
+		" # # ",
+		"#  # ",
+		"#####",
+		"   # ",
+		"   # ",
+	},
+	{ // 5
+		"#####",
+		"#    ",
+		"#### ",
+		"    #",
+		"    #",
+		"#   #",
+		" ### ",
+	},
+	{ // 6
+		" ### ",
+		"#    ",
+		"#    ",
+		"#### ",
+		"#   #",
+		"#   #",
+		" ### ",
+	},
+	{ // 7
+		"#####",
+		"    #",
+		"   # ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+		"  #  ",
+	},
+	{ // 8
+		" ### ",
+		"#   #",
+		"#   #",
+		" ### ",
+		"#   #",
+		"#   #",
+		" ### ",
+	},
+	{ // 9
+		" ### ",
+		"#   #",
+		"#   #",
+		" ####",
+		"    #",
+		"    #",
+		" ### ",
+	},
+}
+
+const (
+	glyphW = 5
+	glyphH = 7
+)
+
+// glyphField returns the continuous-intensity value of digit d at glyph
+// coordinates (gx, gy) ∈ [0, glyphW) × [0, glyphH), with bilinear
+// interpolation between cells so that rotated/scaled samples are
+// anti-aliased. Outside the glyph box the field is zero.
+func glyphField(d int, gx, gy float64) float64 {
+	x0 := int(math.Floor(gx))
+	y0 := int(math.Floor(gy))
+	fx := gx - float64(x0)
+	fy := gy - float64(y0)
+	v := func(x, y int) float64 {
+		if x < 0 || x >= glyphW || y < 0 || y >= glyphH {
+			return 0
+		}
+		if glyphRows[d][y][x] == '#' {
+			return 1
+		}
+		return 0
+	}
+	return v(x0, y0)*(1-fx)*(1-fy) +
+		v(x0+1, y0)*fx*(1-fy) +
+		v(x0, y0+1)*(1-fx)*fy +
+		v(x0+1, y0+1)*fx*fy
+}

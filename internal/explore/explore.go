@@ -1,0 +1,290 @@
+// Package explore implements the paper's contribution: the systematic
+// robustness-exploration methodology of Algorithm 1. For every point of a
+// (Vth, T) grid it trains a spiking network, applies the learnability
+// gate (clean accuracy ≥ Ath, 70 % in the paper), and for each surviving
+// point evaluates robustness against PGD across a sweep of noise budgets
+// ε. Grid points are independent, so they run on a worker pool.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"snnsec/internal/attack"
+	"snnsec/internal/dataset"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+	"snnsec/internal/train"
+)
+
+// BuildSNN constructs a fresh spiking network for one grid point.
+type BuildSNN func(vth float64, T int) (*snn.Network, error)
+
+// Config parameterises one exploration run (Algorithm 1's inputs).
+type Config struct {
+	// Vths are the membrane voltage thresholds V_i, i ∈ [1, n].
+	Vths []float64
+	// Ts are the spiking time windows T_j, j ∈ [1, m].
+	Ts []int
+	// Epsilons are the adversarial noise budgets ε_k, k ∈ [1, p].
+	Epsilons []float64
+	// AccuracyThreshold is A_th, the learnability gate (default 0.70).
+	AccuracyThreshold float64
+	// Train configures the per-point training run. Its Optimizer field
+	// must be nil: grid points train concurrently and optimiser state
+	// (momentum, Adam moments) must not be shared — set NewOptimizer
+	// instead.
+	Train train.Config
+	// NewOptimizer builds a fresh optimiser for each grid point. When
+	// nil, each point gets Adam(1e-3).
+	NewOptimizer func() train.Optimizer
+	// AttackSteps is the PGD iteration count (default 10).
+	AttackSteps int
+	// EvalBatch is the evaluation batch size (default 32).
+	EvalBatch int
+	// Workers bounds the parallel grid points (default NumCPU).
+	Workers int
+	// Build constructs the network for a grid point.
+	Build BuildSNN
+	// Seed derives per-point attack generators.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if len(c.Vths) == 0 || len(c.Ts) == 0 {
+		return fmt.Errorf("explore: empty (Vth, T) grid")
+	}
+	if len(c.Epsilons) == 0 {
+		return fmt.Errorf("explore: no noise budgets")
+	}
+	if c.Build == nil {
+		return fmt.Errorf("explore: no network builder")
+	}
+	if c.Train.Optimizer != nil {
+		return fmt.Errorf("explore: Train.Optimizer would be shared across concurrent grid points; set NewOptimizer instead")
+	}
+	if c.AccuracyThreshold == 0 {
+		c.AccuracyThreshold = 0.70
+	}
+	if c.AccuracyThreshold < 0 || c.AccuracyThreshold > 1 {
+		return fmt.Errorf("explore: accuracy threshold %g out of [0,1]", c.AccuracyThreshold)
+	}
+	if c.AttackSteps <= 0 {
+		c.AttackSteps = 10
+	}
+	if c.EvalBatch <= 0 {
+		c.EvalBatch = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return nil
+}
+
+// Point is the outcome at one (Vth, T) grid position.
+type Point struct {
+	Vth float64
+	T   int
+	// CleanAccuracy is the test accuracy without attack (Figure 6's
+	// heat-map cell).
+	CleanAccuracy float64
+	// Learnable reports whether CleanAccuracy ≥ A_th; robustness is only
+	// evaluated for learnable points (Algorithm 1, line 4).
+	Learnable bool
+	// Robustness holds robust accuracy per ε for learnable points
+	// (Figures 7/8 cells; a full row of Figure 9).
+	Robustness []attack.CurvePoint
+	// Err records a per-point failure (e.g. diverged training); the
+	// sweep continues past it.
+	Err error
+}
+
+// RobustAt returns the robust accuracy at budget eps, or (0, false) when
+// the point was not evaluated at it.
+func (p *Point) RobustAt(eps float64) (float64, bool) {
+	for _, cp := range p.Robustness {
+		if cp.Eps == eps {
+			return cp.RobustAccuracy, true
+		}
+	}
+	return 0, false
+}
+
+// Result is the full grid outcome.
+type Result struct {
+	Vths     []float64
+	Ts       []int
+	Epsilons []float64
+	// Points is indexed [ti*len(Vths) + vi] — T-major, matching the
+	// paper's heat maps (T on the vertical axis).
+	Points []Point
+}
+
+// At returns the point for the vi-th threshold and ti-th window.
+func (r *Result) At(vi, ti int) *Point {
+	return &r.Points[ti*len(r.Vths)+vi]
+}
+
+// Lookup finds the point with the exact (vth, t), if present.
+func (r *Result) Lookup(vth float64, t int) (*Point, bool) {
+	for i := range r.Points {
+		if r.Points[i].Vth == vth && r.Points[i].T == t {
+			return &r.Points[i], true
+		}
+	}
+	return nil, false
+}
+
+// LearnableCount returns how many grid points passed the gate.
+func (r *Result) LearnableCount() int {
+	n := 0
+	for i := range r.Points {
+		if r.Points[i].Learnable {
+			n++
+		}
+	}
+	return n
+}
+
+// TrainedPoint is one grid position after the training phase: the model
+// itself is retained so robustness can be evaluated at any ε later
+// without retraining (this is what lets Figures 7 and 8 share Figure 6's
+// training).
+type TrainedPoint struct {
+	Vth           float64
+	T             int
+	Net           *snn.Network
+	CleanAccuracy float64
+	Learnable     bool
+	Err           error
+}
+
+// Sweep holds the trained grid (phase 1 of Algorithm 1: lines 1-4).
+type Sweep struct {
+	Config Config
+	Points []TrainedPoint // T-major, like Result.Points
+}
+
+// At returns the trained point for the vi-th threshold and ti-th window.
+func (s *Sweep) At(vi, ti int) *TrainedPoint {
+	return &s.Points[ti*len(s.Config.Vths)+vi]
+}
+
+// TrainGrid trains one network per (Vth, T) point on a worker pool and
+// applies the learnability gate — lines 1-4 of Algorithm 1.
+func TrainGrid(cfg Config, trainDS, testDS *dataset.Dataset) (*Sweep, error) {
+	if err := (&cfg).validate(); err != nil {
+		return nil, err
+	}
+	sw := &Sweep{
+		Config: cfg,
+		Points: make([]TrainedPoint, len(cfg.Vths)*len(cfg.Ts)),
+	}
+	forEachPoint(cfg, func(vi, ti int) {
+		idx := ti*len(cfg.Vths) + vi
+		sw.Points[idx] = trainPoint(cfg, cfg.Vths[vi], cfg.Ts[ti], uint64(idx), trainDS, testDS)
+	})
+	return sw, nil
+}
+
+// AttackAll evaluates PGD robustness at each ε for every learnable point
+// — lines 5-16 of Algorithm 1 — and assembles the grid Result. It can be
+// called repeatedly with different budgets on the same sweep.
+func (s *Sweep) AttackAll(testDS *dataset.Dataset, epsilons []float64) *Result {
+	cfg := s.Config
+	res := &Result{
+		Vths:     append([]float64(nil), cfg.Vths...),
+		Ts:       append([]int(nil), cfg.Ts...),
+		Epsilons: append([]float64(nil), epsilons...),
+		Points:   make([]Point, len(s.Points)),
+	}
+	bounds := attack.DatasetBounds(testDS)
+	forEachPoint(cfg, func(vi, ti int) {
+		idx := ti*len(cfg.Vths) + vi
+		tp := &s.Points[idx]
+		pt := Point{
+			Vth:           tp.Vth,
+			T:             tp.T,
+			CleanAccuracy: tp.CleanAccuracy,
+			Learnable:     tp.Learnable,
+			Err:           tp.Err,
+		}
+		if tp.Learnable && tp.Err == nil {
+			pt.Robustness = attack.Curve(tp.Net, testDS, epsilons, func(eps float64) attack.Attack {
+				return attack.PGD{
+					Eps:         eps,
+					Steps:       cfg.AttackSteps,
+					RandomStart: true,
+					Rand:        tensor.NewRand(cfg.Seed+uint64(idx), 0xa77ac4),
+					Bounds:      bounds,
+				}
+			}, cfg.EvalBatch)
+		}
+		res.Points[idx] = pt
+	})
+	return res
+}
+
+// Run executes Algorithm 1 over the grid: train → learnability gate →
+// robustness sweep, with grid points distributed over a worker pool.
+func Run(cfg Config, trainDS, testDS *dataset.Dataset) (*Result, error) {
+	sw, err := TrainGrid(cfg, trainDS, testDS)
+	if err != nil {
+		return nil, err
+	}
+	return sw.AttackAll(testDS, sw.Config.Epsilons), nil
+}
+
+// forEachPoint distributes the grid positions over cfg.Workers goroutines
+// and waits for completion.
+func forEachPoint(cfg Config, f func(vi, ti int)) {
+	type job struct{ vi, ti int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				f(j.vi, j.ti)
+			}
+		}()
+	}
+	for ti := range cfg.Ts {
+		for vi := range cfg.Vths {
+			jobs <- job{vi, ti}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// trainPoint runs lines 3-4 of Algorithm 1 for a single (Vth, T).
+func trainPoint(cfg Config, vth float64, T int, idx uint64, trainDS, testDS *dataset.Dataset) TrainedPoint {
+	pt := TrainedPoint{Vth: vth, T: T}
+	net, err := cfg.Build(vth, T)
+	if err != nil {
+		pt.Err = fmt.Errorf("explore: build (Vth=%g, T=%d): %w", vth, T, err)
+		return pt
+	}
+	// Each worker trains on its own copy of the training set: train.Fit
+	// may shuffle, and the dataset is shared across goroutines.
+	localTrain := trainDS.Subset(0, trainDS.Len())
+	tcfg := cfg.Train
+	if cfg.NewOptimizer != nil {
+		tcfg.Optimizer = cfg.NewOptimizer()
+	}
+	if tcfg.Shuffle != nil {
+		// Derive an independent deterministic stream per point.
+		tcfg.Shuffle = tensor.NewRand(cfg.Seed^idx, 0x7ea1)
+	}
+	if _, err := train.Fit(net, localTrain, tcfg); err != nil {
+		pt.Err = fmt.Errorf("explore: train (Vth=%g, T=%d): %w", vth, T, err)
+		return pt
+	}
+	pt.Net = net
+	pt.CleanAccuracy = train.Evaluate(net, testDS, cfg.EvalBatch)
+	pt.Learnable = pt.CleanAccuracy >= cfg.AccuracyThreshold
+	return pt
+}

@@ -1,0 +1,275 @@
+package explore
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"snnsec/internal/dataset"
+	"snnsec/internal/nn"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+	"snnsec/internal/train"
+)
+
+// tinyBuilder returns a builder for a minimal one-hidden-layer SNN so the
+// grid sweep stays fast in tests.
+func tinyBuilder(imageSize int) BuildSNN {
+	return func(vth float64, T int) (*snn.Network, error) {
+		r := tensor.NewRand(11, 0)
+		cfg := snn.NeuronConfig{Vth: vth, Alpha: 0.9, Reset: snn.ResetZero, Surrogate: snn.FastSigmoid{Beta: 10}}
+		return &snn.Network{
+			Encoder: snn.ConstantCurrentEncoder{Gain: 1},
+			Hidden: []snn.Layer{
+				{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, imageSize*imageSize, 32)), Cfg: cfg},
+			},
+			Readout:    nn.NewLinear(r, 32, 10),
+			ReadoutCfg: cfg,
+			Mode:       snn.ReadoutMembrane,
+			T:          T,
+			LogitScale: 10,
+		}, nil
+	}
+}
+
+func gridData(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	mk := func(n int, seed uint64) *dataset.Dataset {
+		cfg := dataset.DefaultSynthConfig(n, seed)
+		cfg.Size = 12
+		d, err := dataset.SynthDigits(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Normalize()
+		return d
+	}
+	return mk(200, 1), mk(50, 2)
+}
+
+func fastConfig(imageSize int) Config {
+	return Config{
+		Vths:              []float64{0.5, 1e6}, // absurd threshold silences the network: deliberately unlearnable
+		Ts:                []int{2, 6},
+		Epsilons:          []float64{0.5, 1.5},
+		AccuracyThreshold: 0.4,
+		Train: train.Config{
+			Epochs:    15,
+			BatchSize: 20,
+			GradClip:  5,
+		},
+		NewOptimizer: func() train.Optimizer { return train.NewAdam(1e-2) },
+		AttackSteps:  3,
+		EvalBatch:    32,
+		Workers:      2,
+		Build:        tinyBuilder(imageSize),
+		Seed:         3,
+	}
+}
+
+func TestRunGridShapeAndGate(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	cfg := fastConfig(12)
+	res, err := Run(cfg, trainDS, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.Err != nil {
+			t.Fatalf("point (%g, %d) failed: %v", p.Vth, p.T, p.Err)
+		}
+		if p.CleanAccuracy < 0 || p.CleanAccuracy > 1 {
+			t.Errorf("accuracy %v out of range", p.CleanAccuracy)
+		}
+		if p.Learnable != (p.CleanAccuracy >= cfg.AccuracyThreshold) {
+			t.Errorf("gate inconsistent at (%g, %d)", p.Vth, p.T)
+		}
+		if p.Learnable && len(p.Robustness) != 2 {
+			t.Errorf("learnable point (%g, %d) has %d robustness entries", p.Vth, p.T, len(p.Robustness))
+		}
+		if !p.Learnable && p.Robustness != nil {
+			t.Errorf("non-learnable point (%g, %d) was attacked", p.Vth, p.T)
+		}
+	}
+	// Vth=8 with tiny T must be unlearnable — the silent-network corner
+	// of Figure 6.
+	p, ok := res.Lookup(1e6, 2)
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if p.Learnable {
+		t.Errorf("Vth=1e6 T=2 learnable with accuracy %v — silent corner not reproduced", p.CleanAccuracy)
+	}
+	// Vth=0.5 with the longer window should learn on this easy problem.
+	p, ok = res.Lookup(0.5, 6)
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if !p.Learnable {
+		t.Errorf("Vth=0.5 T=6 not learnable (accuracy %v) — sweep too weak to be meaningful", p.CleanAccuracy)
+	}
+}
+
+func TestResultIndexing(t *testing.T) {
+	res := &Result{
+		Vths: []float64{0.5, 1},
+		Ts:   []int{2, 4},
+		Points: []Point{
+			{Vth: 0.5, T: 2}, {Vth: 1, T: 2},
+			{Vth: 0.5, T: 4}, {Vth: 1, T: 4},
+		},
+	}
+	if p := res.At(1, 0); p.Vth != 1 || p.T != 2 {
+		t.Errorf("At(1,0) = (%g, %d)", p.Vth, p.T)
+	}
+	if p := res.At(0, 1); p.Vth != 0.5 || p.T != 4 {
+		t.Errorf("At(0,1) = (%g, %d)", p.Vth, p.T)
+	}
+	if _, ok := res.Lookup(9, 9); ok {
+		t.Error("Lookup found a phantom point")
+	}
+}
+
+func TestPointRobustAt(t *testing.T) {
+	p := Point{Robustness: nil}
+	if _, ok := p.RobustAt(1); ok {
+		t.Error("RobustAt on empty point")
+	}
+}
+
+func TestLearnableCount(t *testing.T) {
+	res := &Result{Points: []Point{{Learnable: true}, {}, {Learnable: true}}}
+	if res.LearnableCount() != 2 {
+		t.Errorf("LearnableCount = %d", res.LearnableCount())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	bad := fastConfig(12)
+	bad.Vths = nil
+	if _, err := Run(bad, trainDS, testDS); err == nil {
+		t.Error("empty grid accepted")
+	}
+	bad = fastConfig(12)
+	bad.Epsilons = nil
+	if _, err := Run(bad, trainDS, testDS); err == nil {
+		t.Error("no budgets accepted")
+	}
+	bad = fastConfig(12)
+	bad.Build = nil
+	if _, err := Run(bad, trainDS, testDS); err == nil {
+		t.Error("nil builder accepted")
+	}
+	bad = fastConfig(12)
+	bad.AccuracyThreshold = 2
+	if _, err := Run(bad, trainDS, testDS); err == nil {
+		t.Error("threshold 2 accepted")
+	}
+}
+
+func TestBuilderErrorIsPerPoint(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	cfg := fastConfig(12)
+	cfg.Vths = []float64{0.5}
+	cfg.Ts = []int{2}
+	builder := cfg.Build
+	cfg.Build = func(vth float64, T int) (*snn.Network, error) {
+		if vth == 0.5 {
+			return nil, errBoom
+		}
+		return builder(vth, T)
+	}
+	res, err := Run(cfg, trainDS, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.At(0, 0)
+	if p.Err == nil || !strings.Contains(p.Err.Error(), "boom") {
+		t.Errorf("builder error not recorded: %v", p.Err)
+	}
+	if p.Learnable {
+		t.Error("failed point marked learnable")
+	}
+}
+
+var errBoom = errTest("boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestGridDeterminism(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	cfg := fastConfig(12)
+	cfg.Vths = []float64{0.5}
+	cfg.Ts = []int{4}
+	cfg.Workers = 1
+	run := func() float64 {
+		res, err := Run(cfg, trainDS.Subset(0, trainDS.Len()), testDS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.At(0, 0).CleanAccuracy
+	}
+	a, b := run(), run()
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("two identical runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestTrainGridThenAttackAll(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	cfg := fastConfig(12)
+	sw, err := TrainGrid(cfg, trainDS, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 4 {
+		t.Fatalf("sweep points = %d", len(sw.Points))
+	}
+	for i := range sw.Points {
+		p := &sw.Points[i]
+		if p.Err != nil {
+			t.Fatalf("train point (%g,%d): %v", p.Vth, p.T, p.Err)
+		}
+		if p.Net == nil {
+			t.Fatalf("trained point (%g,%d) kept no network", p.Vth, p.T)
+		}
+	}
+	// Attack the same sweep at two different budgets without retraining.
+	r1 := sw.AttackAll(testDS, []float64{0.5})
+	r2 := sw.AttackAll(testDS, []float64{1.5})
+	if len(r1.Epsilons) != 1 || r1.Epsilons[0] != 0.5 {
+		t.Errorf("r1 epsilons = %v", r1.Epsilons)
+	}
+	for i := range r1.Points {
+		if r1.Points[i].CleanAccuracy != r2.Points[i].CleanAccuracy {
+			t.Error("clean accuracy changed between attack passes")
+		}
+		if r1.Points[i].Learnable {
+			a, _ := r1.Points[i].RobustAt(0.5)
+			b, _ := r2.Points[i].RobustAt(1.5)
+			if b > a+0.15 {
+				t.Errorf("robustness at eps=1.5 (%v) far above eps=0.5 (%v)", b, a)
+			}
+		}
+	}
+}
+
+func TestSweepAtIndexing(t *testing.T) {
+	sw := &Sweep{
+		Config: Config{Vths: []float64{1, 2}, Ts: []int{3, 4}},
+		Points: []TrainedPoint{
+			{Vth: 1, T: 3}, {Vth: 2, T: 3},
+			{Vth: 1, T: 4}, {Vth: 2, T: 4},
+		},
+	}
+	if p := sw.At(1, 1); p.Vth != 2 || p.T != 4 {
+		t.Errorf("At(1,1) = (%g,%d)", p.Vth, p.T)
+	}
+}

@@ -1,0 +1,114 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"snnsec/internal/attack"
+)
+
+// jsonResult is the stable on-disk schema for a grid result. Errors are
+// flattened to strings so results round-trip through JSON.
+type jsonResult struct {
+	Vths     []float64   `json:"vths"`
+	Ts       []int       `json:"ts"`
+	Epsilons []float64   `json:"epsilons"`
+	Points   []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	Vth        float64             `json:"vth"`
+	T          int                 `json:"t"`
+	CleanAcc   float64             `json:"clean_accuracy"`
+	Learnable  bool                `json:"learnable"`
+	Robustness []attack.CurvePoint `json:"robustness,omitempty"`
+	Err        string              `json:"error,omitempty"`
+}
+
+// WriteJSON serialises the result. Grid sweeps are expensive (hours at
+// paper scale), so persisting them lets reporting and Figure-9 selection
+// re-run without retraining.
+func (r *Result) WriteJSON(w io.Writer) error {
+	jr := jsonResult{
+		Vths:     r.Vths,
+		Ts:       r.Ts,
+		Epsilons: r.Epsilons,
+		Points:   make([]jsonPoint, len(r.Points)),
+	}
+	for i, p := range r.Points {
+		jp := jsonPoint{
+			Vth:        p.Vth,
+			T:          p.T,
+			CleanAcc:   p.CleanAccuracy,
+			Learnable:  p.Learnable,
+			Robustness: p.Robustness,
+		}
+		if p.Err != nil {
+			jp.Err = p.Err.Error()
+		}
+		jr.Points[i] = jp
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}
+
+// ReadJSON deserialises a result written by WriteJSON, validating the
+// grid dimensions.
+func ReadJSON(r io.Reader) (*Result, error) {
+	var jr jsonResult
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jr); err != nil {
+		return nil, fmt.Errorf("explore: decoding result: %w", err)
+	}
+	if len(jr.Points) != len(jr.Vths)*len(jr.Ts) {
+		return nil, fmt.Errorf("explore: result has %d points for a %d x %d grid",
+			len(jr.Points), len(jr.Vths), len(jr.Ts))
+	}
+	res := &Result{
+		Vths:     jr.Vths,
+		Ts:       jr.Ts,
+		Epsilons: jr.Epsilons,
+		Points:   make([]Point, len(jr.Points)),
+	}
+	for i, jp := range jr.Points {
+		p := Point{
+			Vth:           jp.Vth,
+			T:             jp.T,
+			CleanAccuracy: jp.CleanAcc,
+			Learnable:     jp.Learnable,
+			Robustness:    jp.Robustness,
+		}
+		if jp.Err != "" {
+			p.Err = fmt.Errorf("%s", jp.Err)
+		}
+		res.Points[i] = p
+	}
+	return res, nil
+}
+
+// SaveJSON writes the result to a file.
+func (r *Result) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSON reads a result from a file.
+func LoadJSON(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,92 @@
+package explore
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snnsec/internal/attack"
+)
+
+func roundTripResult() *Result {
+	return &Result{
+		Vths:     []float64{0.5, 1},
+		Ts:       []int{4, 8},
+		Epsilons: []float64{1, 1.5},
+		Points: []Point{
+			{Vth: 0.5, T: 4, CleanAccuracy: 0.82, Learnable: true,
+				Robustness: []attack.CurvePoint{{Eps: 1, RobustAccuracy: 0.3}, {Eps: 1.5, RobustAccuracy: 0.1}}},
+			{Vth: 1, T: 4, CleanAccuracy: 0.55},
+			{Vth: 0.5, T: 8, CleanAccuracy: 0.9, Learnable: true,
+				Robustness: []attack.CurvePoint{{Eps: 1, RobustAccuracy: 0.5}, {Eps: 1.5, RobustAccuracy: 0.2}}},
+			{Vth: 1, T: 8, Err: errors.New("training diverged")},
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := roundTripResult()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 4 {
+		t.Fatalf("points = %d", len(got.Points))
+	}
+	for i := range orig.Points {
+		o, g := orig.Points[i], got.Points[i]
+		if o.Vth != g.Vth || o.T != g.T || o.CleanAccuracy != g.CleanAccuracy || o.Learnable != g.Learnable {
+			t.Errorf("point %d changed: %+v vs %+v", i, o, g)
+		}
+		if len(o.Robustness) != len(g.Robustness) {
+			t.Errorf("point %d robustness length changed", i)
+		}
+	}
+	if got.Points[3].Err == nil || !strings.Contains(got.Points[3].Err.Error(), "diverged") {
+		t.Errorf("error not preserved: %v", got.Points[3].Err)
+	}
+	// Helpers still work on the loaded result.
+	if got.LearnableCount() != 2 {
+		t.Errorf("LearnableCount = %d", got.LearnableCount())
+	}
+	if v, ok := got.At(0, 1).RobustAt(1.5); !ok || v != 0.2 {
+		t.Errorf("RobustAt after round trip = %v, %v", v, ok)
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := roundTripResult().SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 4 {
+		t.Errorf("points = %d", len(got.Points))
+	}
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONRejectsBadShape(t *testing.T) {
+	bad := `{"vths":[1,2],"ts":[3],"epsilons":[1],"points":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{nonsense")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	unknown := `{"vths":[1],"ts":[1],"epsilons":[1],"points":[{"vth":1,"t":1,"clean_accuracy":0.5,"learnable":false}],"extra":1}`
+	if _, err := ReadJSON(strings.NewReader(unknown)); err == nil {
+		t.Error("unknown fields accepted")
+	}
+}

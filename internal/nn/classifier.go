@@ -1,0 +1,20 @@
+package nn
+
+import "snnsec/internal/autodiff"
+
+// Classifier maps a batch of images [N,C,H,W] to class logits [N, classes].
+// Both the non-spiking Sequential CNN and the spiking network of
+// internal/snn implement it, which is what lets the attack and training
+// code treat them uniformly — the white-box attacker differentiates
+// through Logits regardless of what is inside.
+type Classifier interface {
+	Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value
+	Params() []*Param
+}
+
+// Logits makes Sequential a Classifier; it is simply Forward.
+func (s *Sequential) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	return s.Forward(tp, x)
+}
+
+var _ Classifier = (*Sequential)(nil)

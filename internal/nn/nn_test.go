@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/tensor"
+)
+
+func TestLinearForwardShape(t *testing.T) {
+	r := tensor.NewRand(1, 1)
+	l := NewLinear(r, 4, 3)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandN(r, 0, 1, 2, 4))
+	y := l.Forward(tp, x)
+	if !y.Data.ShapeEquals(2, 3) {
+		t.Errorf("Linear output shape = %v, want [2 3]", y.Data.Shape())
+	}
+}
+
+func TestLinearKnownValues(t *testing.T) {
+	r := tensor.NewRand(2, 2)
+	l := NewLinear(r, 2, 2)
+	l.W.Data.CopyFrom(tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	l.B.Data.CopyFrom(tensor.FromSlice([]float64{10, 20}, 2))
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.FromSlice([]float64{1, 1}, 1, 2))
+	y := l.Forward(tp, x)
+	want := tensor.FromSlice([]float64{14, 26}, 1, 2)
+	if !y.Data.AllClose(want, 1e-12) {
+		t.Errorf("Linear = %v, want %v", y.Data, want)
+	}
+}
+
+func TestLinearWrongInputPanics(t *testing.T) {
+	r := tensor.NewRand(3, 3)
+	l := NewLinear(r, 4, 3)
+	tp := autodiff.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Linear with wrong input width did not panic")
+		}
+	}()
+	l.Forward(tp, tp.Const(tensor.New(2, 5)))
+}
+
+func TestLinearGradientsFlow(t *testing.T) {
+	r := tensor.NewRand(4, 4)
+	l := NewLinear(r, 3, 2)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandN(r, 0, 1, 5, 3))
+	loss := tp.Mean(l.Forward(tp, x))
+	tp.Backward(loss)
+	if tensor.Sum(tensor.Abs(l.W.Grad)) == 0 {
+		t.Error("weight gradient is zero")
+	}
+	if tensor.Sum(tensor.Abs(l.B.Grad)) == 0 {
+		t.Error("bias gradient is zero")
+	}
+	ZeroGrads(l)
+	if tensor.Sum(tensor.Abs(l.W.Grad)) != 0 {
+		t.Error("ZeroGrads did not clear")
+	}
+}
+
+func TestConv2DLayerShape(t *testing.T) {
+	r := tensor.NewRand(5, 5)
+	c := NewConv2D(r, 1, 6, 5, 1, 2)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandN(r, 0, 1, 2, 1, 16, 16))
+	y := c.Forward(tp, x)
+	if !y.Data.ShapeEquals(2, 6, 16, 16) {
+		t.Errorf("Conv2D output shape = %v, want [2 6 16 16]", y.Data.Shape())
+	}
+	if c.OutSize(16) != 16 {
+		t.Errorf("OutSize(16) = %d", c.OutSize(16))
+	}
+}
+
+func TestConvWrongChannelsPanics(t *testing.T) {
+	r := tensor.NewRand(6, 6)
+	c := NewConv2D(r, 3, 4, 3, 1, 1)
+	tp := autodiff.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Conv2D with wrong channels did not panic")
+		}
+	}()
+	c.Forward(tp, tp.Const(tensor.New(1, 2, 8, 8)))
+}
+
+func TestFlatten(t *testing.T) {
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.New(2, 3, 4, 4))
+	y := Flatten{}.Forward(tp, x)
+	if !y.Data.ShapeEquals(2, 48) {
+		t.Errorf("Flatten shape = %v, want [2 48]", y.Data.Shape())
+	}
+}
+
+func TestSequentialComposesAndCollectsParams(t *testing.T) {
+	r := tensor.NewRand(7, 7)
+	net := NewSequential(
+		NewConv2D(r, 1, 2, 3, 1, 1),
+		ReLU{},
+		AvgPool{K: 2},
+		Flatten{},
+		NewLinear(r, 2*4*4, 10),
+	)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandN(r, 0, 1, 3, 1, 8, 8))
+	y := net.Forward(tp, x)
+	if !y.Data.ShapeEquals(3, 10) {
+		t.Fatalf("Sequential output = %v", y.Data.Shape())
+	}
+	if len(net.Params()) != 4 {
+		t.Errorf("Params count = %d, want 4", len(net.Params()))
+	}
+	want := 2*1*3*3 + 2 + 32*10 + 10
+	if got := ParamCount(net); got != want {
+		t.Errorf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+func TestSequentialIsClassifier(t *testing.T) {
+	r := tensor.NewRand(8, 8)
+	var c Classifier = NewSequential(Flatten{}, NewLinear(r, 16, 4))
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandN(r, 0, 1, 2, 1, 4, 4))
+	y := c.Logits(tp, x)
+	if !y.Data.ShapeEquals(2, 4) {
+		t.Errorf("Logits shape = %v", y.Data.Shape())
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	r := tensor.NewRand(9, 9)
+	d := NewDropout(r, 0.5)
+	d.SetTraining(false)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.RandN(r, 0, 1, 10))
+	y := d.Forward(tp, x)
+	if !y.Data.AllClose(x.Data, 0) {
+		t.Error("eval-mode dropout altered input")
+	}
+}
+
+func TestDropoutTrainZeroesAndRescales(t *testing.T) {
+	r := tensor.NewRand(10, 10)
+	d := NewDropout(r, 0.5)
+	d.SetTraining(true)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.Ones(10000))
+	y := d.Forward(tp, x)
+	zeros, twos := 0, 0
+	for _, v := range y.Data.Data() {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-2) < 1e-12:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros < 4000 || zeros > 6000 {
+		t.Errorf("dropout zeroed %d of 10000, expected ≈5000", zeros)
+	}
+	// Inverted dropout keeps the expectation: mean should stay near 1.
+	if m := tensor.Mean(y.Data); math.Abs(m-1) > 0.05 {
+		t.Errorf("dropout mean = %v, want ≈1", m)
+	}
+}
+
+func TestDropoutBadProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dropout p=1 did not panic")
+		}
+	}()
+	NewDropout(tensor.NewRand(1, 2), 1)
+}
+
+func TestSetTrainingPropagates(t *testing.T) {
+	r := tensor.NewRand(11, 11)
+	d := NewDropout(r, 0.3)
+	net := NewSequential(Flatten{}, d)
+	net.SetTraining(true)
+	if !d.Training {
+		t.Error("SetTraining(true) not propagated")
+	}
+	net.SetTraining(false)
+	if d.Training {
+		t.Error("SetTraining(false) not propagated")
+	}
+}
+
+func TestInitialisersStatistics(t *testing.T) {
+	r := tensor.NewRand(12, 12)
+	h := HeNormal(r, 100, 100, 100)
+	std := math.Sqrt(2.0 / 100)
+	var s, s2 float64
+	for _, v := range h.Data() {
+		s += v
+		s2 += v * v
+	}
+	n := float64(h.Len())
+	mean := s / n
+	sd := math.Sqrt(s2/n - mean*mean)
+	if math.Abs(mean) > 0.01 || math.Abs(sd-std) > 0.02 {
+		t.Errorf("HeNormal mean=%v sd=%v, want 0 / %v", mean, sd, std)
+	}
+	x := XavierUniform(r, 50, 50, 50, 50)
+	a := math.Sqrt(6.0 / 100)
+	if tensor.Max(x) > a || tensor.Min(x) < -a {
+		t.Errorf("XavierUniform out of ±%v: [%v, %v]", a, tensor.Min(x), tensor.Max(x))
+	}
+}
+
+func TestPoolLayers(t *testing.T) {
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2))
+	if got := (AvgPool{K: 2}).Forward(tp, x); got.Data.Item() != 2.5 {
+		t.Errorf("AvgPool = %v", got.Data.Item())
+	}
+	if got := (MaxPool{K: 2}).Forward(tp, x); got.Data.Item() != 4 {
+		t.Errorf("MaxPool = %v", got.Data.Item())
+	}
+}
+
+// End-to-end sanity: a tiny MLP can fit a linearly separable toy problem
+// with plain gradient descent, proving grads are wired correctly.
+func TestMLPLearnsToyProblem(t *testing.T) {
+	r := tensor.NewRand(13, 13)
+	net := NewSequential(NewLinear(r, 2, 8), ReLU{}, NewLinear(r, 8, 2))
+	// Class 0: x0+x1 < 0; class 1 otherwise.
+	xs := tensor.RandN(r, 0, 1, 64, 2)
+	labels := make([]int, 64)
+	for i := 0; i < 64; i++ {
+		if xs.At(i, 0)+xs.At(i, 1) > 0 {
+			labels[i] = 1
+		}
+	}
+	var loss0, lossN float64
+	for epoch := 0; epoch < 200; epoch++ {
+		ZeroGrads(net)
+		tp := autodiff.NewTape()
+		x := tp.Const(xs)
+		loss := tp.SoftmaxCrossEntropy(net.Forward(tp, x), labels)
+		if epoch == 0 {
+			loss0 = loss.Data.Item()
+		}
+		lossN = loss.Data.Item()
+		tp.Backward(loss)
+		for _, p := range net.Params() {
+			tensor.Axpy(-0.1, p.Grad, p.Data)
+		}
+	}
+	if lossN >= loss0/2 {
+		t.Errorf("training did not reduce loss: %v -> %v", loss0, lossN)
+	}
+	// Final accuracy should be high.
+	tp := autodiff.NewTape()
+	pred := tensor.ArgmaxRows(net.Forward(tp, tp.Const(xs)).Data)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if correct < 58 {
+		t.Errorf("toy accuracy %d/64, want ≥ 58", correct)
+	}
+}

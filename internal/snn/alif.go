@@ -1,0 +1,139 @@
+package snn
+
+import (
+	"fmt"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/tensor"
+)
+
+// AdaptiveConfig extends NeuronConfig with threshold adaptation (the ALIF
+// neuron of Bellec et al.): each spike raises the effective threshold by
+// AdaptStep, and the excess decays back toward the base Vth with factor
+// AdaptDecay per step:
+//
+//	th[t+1] = Vth + (th[t] − Vth)·AdaptDecay + AdaptStep·s[t]
+//
+// Threshold adaptation is a *dynamic* counterpart of the paper's static
+// Vth knob — the "more complex behaviour" its future-work section
+// anticipates — and is exercised by the extension benchmarks.
+type AdaptiveConfig struct {
+	NeuronConfig
+	// AdaptStep is the per-spike threshold increment (≥ 0).
+	AdaptStep float64
+	// AdaptDecay is the per-step decay of the threshold excess in [0,1).
+	AdaptDecay float64
+}
+
+// Validate checks the adaptive parameters on top of the base config.
+func (c *AdaptiveConfig) Validate() error {
+	if err := c.NeuronConfig.Validate(); err != nil {
+		return err
+	}
+	if c.AdaptStep < 0 {
+		return fmt.Errorf("snn: AdaptStep must be non-negative, got %g", c.AdaptStep)
+	}
+	if c.AdaptDecay < 0 || c.AdaptDecay >= 1 {
+		return fmt.Errorf("snn: AdaptDecay must be in [0,1), got %g", c.AdaptDecay)
+	}
+	return nil
+}
+
+// ALIFState carries the two state tensors of an adaptive population
+// between timesteps.
+type ALIFState struct {
+	// V is the membrane potential node.
+	V *autodiff.Value
+	// ThExcess is the threshold excess (th − Vth) as a plain tensor; the
+	// adaptation path is treated as non-differentiable state, as in
+	// e-prop style truncations.
+	ThExcess *tensor.Tensor
+}
+
+// NewALIFState returns the zero state for a population of the given
+// shape.
+func NewALIFState(tp *autodiff.Tape, shape ...int) *ALIFState {
+	return &ALIFState{
+		V:        tp.Const(tensor.New(shape...)),
+		ThExcess: tensor.New(shape...),
+	}
+}
+
+// ALIFStep advances an adaptive LIF population one timestep. The spike
+// condition compares the membrane against the *adapted* threshold
+// Vth + excess; gradients flow through the membrane path exactly as in
+// LIFStep while the adaptation state is updated out-of-graph.
+func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st *ALIFState) (spikes *autodiff.Value, next *ALIFState) {
+	if err := (&cfg).Validate(); err != nil {
+		panic(err)
+	}
+	if !current.Data.SameShape(st.V.Data) || !current.Data.SameShape(st.ThExcess) {
+		panic(fmt.Sprintf("snn: ALIFStep shape mismatch current %v vs state %v/%v",
+			current.Data.Shape(), st.V.Data.Shape(), st.ThExcess.Shape()))
+	}
+	n := current.Data.Len()
+	shape := current.Data.Shape()
+
+	pre := make([]float64, n)
+	spk := make([]float64, n)
+	vout := make([]float64, n)
+	surr := make([]float64, n)
+	newExcess := tensor.New(shape...)
+	cv, mv, ex, ne := current.Data.Data(), st.V.Data.Data(), st.ThExcess.Data(), newExcess.Data()
+	for i := 0; i < n; i++ {
+		p := cfg.Alpha*mv[i] + cv[i]
+		pre[i] = p
+		th := cfg.Vth + ex[i]
+		var s float64
+		if p > th {
+			s = 1
+		}
+		spk[i] = s
+		surr[i] = cfg.Surrogate.Grad(p - th)
+		switch cfg.Reset {
+		case ResetZero:
+			vout[i] = p * (1 - s)
+		case ResetSubtract:
+			vout[i] = p - th*s
+		default:
+			panic(fmt.Sprintf("snn: unknown reset mode %v", cfg.Reset))
+		}
+		ne[i] = ex[i]*cfg.AdaptDecay + cfg.AdaptStep*s
+	}
+
+	spikeT := tensor.FromSlice(spk, shape...)
+	membrane := st.V
+	spikes = tp.NewOp(spikeT, func(g *tensor.Tensor) {
+		gd := g.Data()
+		dI := make([]float64, n)
+		dV := make([]float64, n)
+		for i := range dI {
+			dI[i] = gd[i] * surr[i]
+			dV[i] = dI[i] * cfg.Alpha
+		}
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
+		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+	}, current, membrane)
+
+	vT := tensor.FromSlice(vout, shape...)
+	vNode := tp.NewOp(vT, func(g *tensor.Tensor) {
+		gd := g.Data()
+		dI := make([]float64, n)
+		switch cfg.Reset {
+		case ResetZero:
+			for i := range dI {
+				dI[i] = gd[i] * (1 - spk[i])
+			}
+		case ResetSubtract:
+			copy(dI, gd)
+		}
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
+		dV := make([]float64, n)
+		for i := range dV {
+			dV[i] = dI[i] * cfg.Alpha
+		}
+		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+	}, current, membrane)
+
+	return spikes, &ALIFState{V: vNode, ThExcess: newExcess}
+}

@@ -1,0 +1,171 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/tensor"
+)
+
+// Encoder converts a static input image into the per-timestep input of
+// the spiking network. Encode is called once per timestep t ∈ [0, T);
+// implementations must be differentiable (exactly or via a
+// straight-through estimator) so the white-box attacker can reach the
+// pixels.
+type Encoder interface {
+	// Encode returns the input drive at timestep t for the static input
+	// x (shape [N,C,H,W] or [N,D]).
+	Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *autodiff.Value
+	// Name identifies the encoder in reports.
+	Name() string
+}
+
+// ConstantCurrentEncoder injects the (scaled) analog input as synaptic
+// current at every timestep — Norse's constant-current LIF encoding. The
+// first spiking layer then converts intensity to rate through its own LIF
+// dynamics. This encoder is exactly differentiable, making it the default
+// for white-box attack studies.
+type ConstantCurrentEncoder struct {
+	// Gain multiplies the input before injection.
+	Gain float64
+}
+
+// Encode returns Gain·x regardless of t.
+func (e ConstantCurrentEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *autodiff.Value {
+	if e.Gain == 1 {
+		return x
+	}
+	return tp.Scale(x, e.Gain)
+}
+
+// Name returns "constant_current(gain)".
+func (e ConstantCurrentEncoder) Name() string {
+	return fmt.Sprintf("constant_current(gain=%g)", e.Gain)
+}
+
+// PoissonEncoder emits rate-coded Bernoulli spike trains: at each step a
+// pixel spikes with probability clamp(Gain·(Scale·x + Offset), 0, 1).
+// Scale and Offset (default 1 and 0) de-normalise inputs that live in
+// MNIST-normalised units back into [0,1] rate space. The backward pass
+// uses the straight-through estimator dE[s]/dx = Gain·Scale inside the
+// unsaturated region, so PGD still reaches the pixels. The generator is
+// owned by the encoder and must be reseeded (Reseed) to reproduce a
+// specific spike train.
+type PoissonEncoder struct {
+	Gain   float64
+	Scale  float64
+	Offset float64
+	rng    *rand.Rand
+}
+
+// NewPoissonEncoder builds a rate encoder with a deterministic generator
+// and identity de-normalisation.
+func NewPoissonEncoder(gain float64, seed1, seed2 uint64) *PoissonEncoder {
+	return &PoissonEncoder{Gain: gain, Scale: 1, rng: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// NewNormalizedPoissonEncoder builds a rate encoder for inputs in
+// MNIST-normalised units: the rate is Gain·(std·x + mean).
+func NewNormalizedPoissonEncoder(gain, mean, std float64, seed1, seed2 uint64) *PoissonEncoder {
+	return &PoissonEncoder{Gain: gain, Scale: std, Offset: mean, rng: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Reseed resets the spike-train generator.
+func (e *PoissonEncoder) Reseed(seed1, seed2 uint64) {
+	e.rng = rand.New(rand.NewPCG(seed1, seed2))
+}
+
+// Encode samples a Bernoulli spike tensor from the rate
+// clamp(Gain·(Scale·x+Offset), 0, 1).
+func (e *PoissonEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *autodiff.Value {
+	scale := e.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	n := x.Data.Len()
+	shape := x.Data.Shape()
+	xd := x.Data.Data()
+	spikes := make([]float64, n)
+	inRegion := make([]bool, n)
+	for i := 0; i < n; i++ {
+		p := e.Gain * (scale*xd[i] + e.Offset)
+		inRegion[i] = p > 0 && p < 1
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		if e.rng.Float64() < p {
+			spikes[i] = 1
+		}
+	}
+	out := tensor.FromSlice(spikes, shape...)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		// Straight-through: d rate/dx = Gain·Scale inside the linear
+		// region, zero where the rate saturates.
+		gd := g.Data()
+		dx := make([]float64, n)
+		for i := range dx {
+			if inRegion[i] {
+				dx[i] = gd[i] * e.Gain * scale
+			}
+		}
+		x.AccumGrad(tensor.FromSlice(dx, shape...))
+	}, x)
+}
+
+// Name returns "poisson(gain)".
+func (e *PoissonEncoder) Name() string { return fmt.Sprintf("poisson(gain=%g)", e.Gain) }
+
+// LatencyEncoder emits a single spike per pixel whose timing encodes
+// intensity: brighter pixels spike earlier. A pixel with normalised
+// intensity p ∈ (0,1] spikes at step floor((1−p)·(T−1)); non-positive
+// intensities never spike. Backward uses a straight-through estimator on
+// the spiking step. Included for the encoding ablation (Bagheri et al.
+// study encoding sensitivity); the paper itself uses rate coding.
+type LatencyEncoder struct {
+	Gain float64
+	// T must match the network's time window so spike times span it.
+	T int
+}
+
+// Encode emits the latency-coded spikes for step t.
+func (e LatencyEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *autodiff.Value {
+	if e.T <= 0 {
+		panic("snn: LatencyEncoder requires positive T")
+	}
+	n := x.Data.Len()
+	shape := x.Data.Shape()
+	xd := x.Data.Data()
+	spikes := make([]float64, n)
+	active := make([]bool, n)
+	for i := 0; i < n; i++ {
+		p := e.Gain * xd[i]
+		if p <= 0 {
+			continue
+		}
+		if p > 1 {
+			p = 1
+		}
+		step := int((1 - p) * float64(e.T-1))
+		if step == t {
+			spikes[i] = 1
+			active[i] = true
+		}
+	}
+	out := tensor.FromSlice(spikes, shape...)
+	return tp.NewOp(out, func(g *tensor.Tensor) {
+		gd := g.Data()
+		dx := make([]float64, n)
+		for i := range dx {
+			if active[i] {
+				dx[i] = gd[i] * e.Gain
+			}
+		}
+		x.AccumGrad(tensor.FromSlice(dx, shape...))
+	}, x)
+}
+
+// Name returns "latency(gain,T)".
+func (e LatencyEncoder) Name() string { return fmt.Sprintf("latency(gain=%g,T=%d)", e.Gain, e.T) }

@@ -1,0 +1,171 @@
+package snn
+
+import (
+	"fmt"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/tensor"
+)
+
+// ResetMode selects how the membrane potential is reset after a spike.
+type ResetMode int
+
+const (
+	// ResetZero clamps the membrane to 0 after a spike (Norse default).
+	ResetZero ResetMode = iota
+	// ResetSubtract subtracts Vth from the membrane after a spike,
+	// preserving the residual above threshold.
+	ResetSubtract
+)
+
+// String names the reset mode.
+func (m ResetMode) String() string {
+	switch m {
+	case ResetZero:
+		return "zero"
+	case ResetSubtract:
+		return "subtract"
+	default:
+		return fmt.Sprintf("ResetMode(%d)", int(m))
+	}
+}
+
+// NeuronConfig holds the structural parameters of a LIF population. Vth is
+// the firing threshold the paper sweeps; Alpha is the membrane decay
+// (leak) factor per step, with Alpha = 1 degenerating to a non-leaky
+// integrate-and-fire neuron.
+type NeuronConfig struct {
+	// Vth is the firing threshold voltage. The membrane emits a spike
+	// when it strictly exceeds Vth.
+	Vth float64
+	// Alpha is the per-step membrane decay in (0, 1]; v decays to α·v
+	// before integrating the input current.
+	Alpha float64
+	// Reset selects the post-spike reset behaviour.
+	Reset ResetMode
+	// Surrogate is the backward-pass spike derivative; nil selects
+	// DefaultSurrogate.
+	Surrogate Surrogate
+}
+
+// Validate checks the configuration and fills defaulted fields.
+func (c *NeuronConfig) Validate() error {
+	if c.Vth <= 0 {
+		return fmt.Errorf("snn: threshold Vth must be positive, got %g", c.Vth)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("snn: membrane decay Alpha must be in (0,1], got %g", c.Alpha)
+	}
+	if c.Surrogate == nil {
+		c.Surrogate = DefaultSurrogate()
+	}
+	return nil
+}
+
+// DefaultNeuronConfig mirrors the paper's default structural point
+// (Vth, T) = (1, 64): threshold 1, leak 0.9, reset-to-zero, fast-sigmoid
+// surrogate.
+func DefaultNeuronConfig() NeuronConfig {
+	return NeuronConfig{Vth: 1, Alpha: 0.9, Reset: ResetZero, Surrogate: DefaultSurrogate()}
+}
+
+// LIFStep advances one population of LIF neurons by one timestep on the
+// tape. current is the synaptic input I[t] and membrane the previous
+// state v[t−1] (any matching shapes). It returns the binary spike tensor
+// s[t] and the post-reset membrane v[t], both differentiable:
+//
+//	pre  = α·v[t−1] + I[t]
+//	s[t] = H(pre − Vth)            (surrogate derivative backward)
+//	v[t] = pre·(1−s[t])            (ResetZero)
+//	v[t] = pre − Vth·s[t]          (ResetSubtract)
+//
+// Following standard surrogate-gradient practice (STBP, Norse), the reset
+// path treats s[t] as a constant: gradients flow through the reset gate's
+// value, not through its dependence on pre. This keeps BPTT stable and
+// matches what the paper's software stack does.
+func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Value) (spikes, newMembrane *autodiff.Value) {
+	if err := (&cfg).Validate(); err != nil {
+		panic(err)
+	}
+	if !current.Data.SameShape(membrane.Data) {
+		panic(fmt.Sprintf("snn: LIFStep current %v vs membrane %v shape mismatch", current.Data.Shape(), membrane.Data.Shape()))
+	}
+	n := current.Data.Len()
+	shape := current.Data.Shape()
+
+	pre := make([]float64, n)  // pre-reset membrane α·v + I
+	spk := make([]float64, n)  // binary spikes
+	vout := make([]float64, n) // post-reset membrane
+	surr := make([]float64, n) // surrogate dH/dpre
+	cv := current.Data.Data()
+	mv := membrane.Data.Data()
+	for i := 0; i < n; i++ {
+		p := cfg.Alpha*mv[i] + cv[i]
+		pre[i] = p
+		var s float64
+		if p > cfg.Vth {
+			s = 1
+		}
+		spk[i] = s
+		surr[i] = cfg.Surrogate.Grad(p - cfg.Vth)
+		switch cfg.Reset {
+		case ResetZero:
+			vout[i] = p * (1 - s)
+		case ResetSubtract:
+			vout[i] = p - cfg.Vth*s
+		default:
+			panic(fmt.Sprintf("snn: unknown reset mode %v", cfg.Reset))
+		}
+	}
+
+	spikeT := tensor.FromSlice(spk, shape...)
+	spikes = tp.NewOp(spikeT, func(g *tensor.Tensor) {
+		// ds/dpre = surrogate; dpre/dI = 1; dpre/dv_prev = α.
+		gd := g.Data()
+		dI := make([]float64, n)
+		for i := range dI {
+			dI[i] = gd[i] * surr[i]
+		}
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
+		dV := make([]float64, n)
+		for i := range dV {
+			dV[i] = gd[i] * surr[i] * cfg.Alpha
+		}
+		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+	}, current, membrane)
+
+	vT := tensor.FromSlice(vout, shape...)
+	newMembrane = tp.NewOp(vT, func(g *tensor.Tensor) {
+		// dv_out/dpre with the reset gate detached:
+		//   ResetZero:     (1 − s)
+		//   ResetSubtract: 1
+		gd := g.Data()
+		dI := make([]float64, n)
+		switch cfg.Reset {
+		case ResetZero:
+			for i := range dI {
+				dI[i] = gd[i] * (1 - spk[i])
+			}
+		case ResetSubtract:
+			copy(dI, gd)
+		}
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
+		dV := make([]float64, n)
+		for i := range dV {
+			dV[i] = dI[i] * cfg.Alpha
+		}
+		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+	}, current, membrane)
+
+	return spikes, newMembrane
+}
+
+// LIStep advances a non-spiking leaky integrator (Norse's LICell), used as
+// a voltage readout layer: v[t] = α·v[t−1] + I[t]. It is fully
+// differentiable with no surrogate needed.
+func LIStep(tp *autodiff.Tape, alpha float64, current, membrane *autodiff.Value) *autodiff.Value {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("snn: LIStep alpha %g out of (0,1]", alpha))
+	}
+	return tp.Add(tp.Scale(membrane, alpha), current)
+}

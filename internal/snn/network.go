@@ -1,0 +1,192 @@
+package snn
+
+import (
+	"fmt"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/nn"
+	"snnsec/internal/tensor"
+)
+
+// ReadoutMode selects how the output layer converts spikes to logits.
+type ReadoutMode int
+
+const (
+	// ReadoutSpikeCount runs the output synapse into a final LIF
+	// population and uses the spike count over the time window as the
+	// class score (rate decoding, as in the paper's Fig. 3).
+	ReadoutSpikeCount ReadoutMode = iota
+	// ReadoutMembrane integrates the output synapse's current in a
+	// non-spiking leaky integrator and uses the time-averaged membrane
+	// potential as the class score (Norse's LI readout).
+	ReadoutMembrane
+)
+
+// String names the readout mode.
+func (m ReadoutMode) String() string {
+	switch m {
+	case ReadoutSpikeCount:
+		return "spike_count"
+	case ReadoutMembrane:
+		return "membrane"
+	default:
+		return fmt.Sprintf("ReadoutMode(%d)", int(m))
+	}
+}
+
+// Layer couples a synaptic transformation (convolution, pooling, linear —
+// any nn.Layer) with the LIF population that receives its current.
+type Layer struct {
+	Syn nn.Layer
+	Cfg NeuronConfig
+}
+
+// Trace records per-layer activity statistics of the last forward pass
+// when attached to a Network. It is diagnostic only; recording does not
+// affect gradients.
+type Trace struct {
+	// SpikeRates[l] is the mean firing probability of hidden layer l
+	// over all neurons, samples and timesteps.
+	SpikeRates []float64
+	// OutputRate is the mean activity of the readout population.
+	OutputRate float64
+}
+
+// Network is a spiking classifier: an encoder feeding a stack of
+// (synapse → LIF) layers, simulated for T timesteps, with a rate or
+// membrane readout. It implements nn.Classifier, so attacks and training
+// treat it exactly like the CNN baseline — the white-box adversary
+// backpropagates through the full unrolled time window.
+type Network struct {
+	Encoder Encoder
+	Hidden  []Layer
+	// Readout is the final synapse producing one current per class.
+	Readout nn.Layer
+	// ReadoutCfg configures the output LIF population (ReadoutSpikeCount)
+	// or the leak of the LI integrator (ReadoutMembrane).
+	ReadoutCfg NeuronConfig
+	Mode       ReadoutMode
+	// T is the simulation time window — the structural parameter the
+	// paper sweeps together with Vth.
+	T int
+	// LogitScale multiplies the time-averaged readout before the
+	// softmax; spike rates live in [0,1], so a scale ≈10 restores a
+	// useful logit dynamic range.
+	LogitScale float64
+	// Record, when non-nil, receives activity statistics each forward
+	// pass.
+	Record *Trace
+}
+
+// Validate checks the network invariants.
+func (n *Network) Validate() error {
+	if n.Encoder == nil {
+		return fmt.Errorf("snn: network has no encoder")
+	}
+	if n.T <= 0 {
+		return fmt.Errorf("snn: time window T must be positive, got %d", n.T)
+	}
+	if n.Readout == nil {
+		return fmt.Errorf("snn: network has no readout synapse")
+	}
+	if n.LogitScale <= 0 {
+		return fmt.Errorf("snn: LogitScale must be positive, got %g", n.LogitScale)
+	}
+	for i := range n.Hidden {
+		cfg := n.Hidden[i].Cfg
+		if err := (&cfg).Validate(); err != nil {
+			return fmt.Errorf("snn: hidden layer %d: %w", i, err)
+		}
+	}
+	cfg := n.ReadoutCfg
+	if err := (&cfg).Validate(); err != nil {
+		return fmt.Errorf("snn: readout: %w", err)
+	}
+	return nil
+}
+
+// SetVth sets the firing threshold of every LIF population (hidden and
+// readout) — the Vth knob of the paper's (Vth, T) grid.
+func (n *Network) SetVth(vth float64) {
+	for i := range n.Hidden {
+		n.Hidden[i].Cfg.Vth = vth
+	}
+	n.ReadoutCfg.Vth = vth
+}
+
+// Logits simulates the network for T steps and returns [N, classes]
+// scores. It implements nn.Classifier.
+func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	membranes := make([]*autodiff.Value, len(n.Hidden))
+	var outState *autodiff.Value
+	var acc *autodiff.Value
+	var rateSums []float64
+	var outRateSum float64
+	if n.Record != nil {
+		rateSums = make([]float64, len(n.Hidden))
+	}
+
+	for t := 0; t < n.T; t++ {
+		h := n.Encoder.Encode(tp, x, t)
+		for l := range n.Hidden {
+			cur := n.Hidden[l].Syn.Forward(tp, h)
+			if membranes[l] == nil {
+				membranes[l] = tp.Const(tensor.New(cur.Data.Shape()...))
+			}
+			var spikes *autodiff.Value
+			spikes, membranes[l] = LIFStep(tp, n.Hidden[l].Cfg, cur, membranes[l])
+			if rateSums != nil {
+				rateSums[l] += tensor.Mean(spikes.Data)
+			}
+			h = spikes
+		}
+		out := n.Readout.Forward(tp, h)
+		if outState == nil {
+			outState = tp.Const(tensor.New(out.Data.Shape()...))
+		}
+		var contribution *autodiff.Value
+		switch n.Mode {
+		case ReadoutSpikeCount:
+			var spikes *autodiff.Value
+			spikes, outState = LIFStep(tp, n.ReadoutCfg, out, outState)
+			contribution = spikes
+		case ReadoutMembrane:
+			outState = LIStep(tp, n.ReadoutCfg.Alpha, out, outState)
+			contribution = outState
+		default:
+			panic(fmt.Sprintf("snn: unknown readout mode %v", n.Mode))
+		}
+		if n.Record != nil {
+			outRateSum += tensor.Mean(contribution.Data)
+		}
+		if acc == nil {
+			acc = contribution
+		} else {
+			acc = tp.Add(acc, contribution)
+		}
+	}
+
+	if n.Record != nil {
+		n.Record.SpikeRates = rateSums
+		for l := range n.Record.SpikeRates {
+			n.Record.SpikeRates[l] /= float64(n.T)
+		}
+		n.Record.OutputRate = outRateSum / float64(n.T)
+	}
+	return tp.Scale(acc, n.LogitScale/float64(n.T))
+}
+
+// Params returns all trainable parameters (hidden synapses then readout).
+func (n *Network) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, l := range n.Hidden {
+		ps = append(ps, l.Syn.Params()...)
+	}
+	ps = append(ps, n.Readout.Params()...)
+	return ps
+}
+
+var _ nn.Classifier = (*Network)(nil)

@@ -1,0 +1,621 @@
+package snn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/nn"
+	"snnsec/internal/tensor"
+)
+
+func TestSurrogatePeaksAtThreshold(t *testing.T) {
+	for _, s := range []Surrogate{FastSigmoid{Beta: 10}, SigmoidPrime{Beta: 5}, PiecewiseLinear{Width: 0.5}} {
+		at0 := s.Grad(0)
+		if at0 <= 0 {
+			t.Errorf("%s: Grad(0) = %v, want > 0", s.Name(), at0)
+		}
+		for _, u := range []float64{-2, -0.5, 0.5, 2} {
+			if g := s.Grad(u); g > at0+1e-12 {
+				t.Errorf("%s: Grad(%v)=%v exceeds Grad(0)=%v", s.Name(), u, g, at0)
+			}
+		}
+	}
+}
+
+func TestSurrogateSymmetry(t *testing.T) {
+	f := func(u float64) bool {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return true
+		}
+		u = math.Mod(u, 10)
+		fs := FastSigmoid{Beta: 7}
+		return math.Abs(fs.Grad(u)-fs.Grad(-u)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurrogateDecaysToZero(t *testing.T) {
+	fs := FastSigmoid{Beta: 100}
+	if fs.Grad(10) > 1e-4 {
+		t.Errorf("fast sigmoid at u=10: %v, want ≈0", fs.Grad(10))
+	}
+	pl := PiecewiseLinear{Width: 0.3}
+	if pl.Grad(0.31) != 0 {
+		t.Errorf("triangular support exceeded: %v", pl.Grad(0.31))
+	}
+}
+
+func TestSurrogateByName(t *testing.T) {
+	for _, s := range []Surrogate{FastSigmoid{Beta: 10}, SigmoidPrime{Beta: 5}, PiecewiseLinear{Width: 0.5}} {
+		got, err := SurrogateByName(s.Name(), 3)
+		if err != nil {
+			t.Errorf("SurrogateByName(%q): %v", s.Name(), err)
+			continue
+		}
+		if got == nil {
+			t.Errorf("SurrogateByName(%q) returned nil", s.Name())
+		}
+	}
+	if _, err := SurrogateByName("bogus", 1); err == nil {
+		t.Error("unknown surrogate name did not error")
+	}
+}
+
+func TestNeuronConfigValidate(t *testing.T) {
+	bad := []NeuronConfig{
+		{Vth: 0, Alpha: 0.9},
+		{Vth: -1, Alpha: 0.9},
+		{Vth: 1, Alpha: 0},
+		{Vth: 1, Alpha: 1.5},
+	}
+	for _, c := range bad {
+		cc := c
+		if err := (&cc).Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	good := NeuronConfig{Vth: 1, Alpha: 1}
+	if err := (&good).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if good.Surrogate == nil {
+		t.Error("Validate did not fill default surrogate")
+	}
+}
+
+func TestLIFStepSubthresholdIntegration(t *testing.T) {
+	cfg := NeuronConfig{Vth: 1, Alpha: 0.5, Reset: ResetZero}
+	tp := autodiff.NewTape()
+	i1 := tp.Const(tensor.FromSlice([]float64{0.4}, 1))
+	v0 := tp.Const(tensor.New(1))
+	s, v := LIFStep(tp, cfg, i1, v0)
+	if s.Data.Item() != 0 {
+		t.Errorf("subthreshold spike emitted")
+	}
+	if math.Abs(v.Data.Item()-0.4) > 1e-12 {
+		t.Errorf("membrane = %v, want 0.4", v.Data.Item())
+	}
+	// Second step: 0.5*0.4 + 0.4 = 0.6, still subthreshold.
+	s2, v2 := LIFStep(tp, cfg, tp.Const(tensor.FromSlice([]float64{0.4}, 1)), v)
+	if s2.Data.Item() != 0 || math.Abs(v2.Data.Item()-0.6) > 1e-12 {
+		t.Errorf("step2: s=%v v=%v, want 0 / 0.6", s2.Data.Item(), v2.Data.Item())
+	}
+}
+
+func TestLIFStepFiresAndResetsZero(t *testing.T) {
+	cfg := NeuronConfig{Vth: 1, Alpha: 1, Reset: ResetZero}
+	tp := autodiff.NewTape()
+	s, v := LIFStep(tp, cfg, tp.Const(tensor.FromSlice([]float64{1.5}, 1)), tp.Const(tensor.New(1)))
+	if s.Data.Item() != 1 {
+		t.Error("neuron did not fire above threshold")
+	}
+	if v.Data.Item() != 0 {
+		t.Errorf("reset-to-zero membrane = %v", v.Data.Item())
+	}
+}
+
+func TestLIFStepFiresAndResetsSubtract(t *testing.T) {
+	cfg := NeuronConfig{Vth: 1, Alpha: 1, Reset: ResetSubtract}
+	tp := autodiff.NewTape()
+	s, v := LIFStep(tp, cfg, tp.Const(tensor.FromSlice([]float64{1.5}, 1)), tp.Const(tensor.New(1)))
+	if s.Data.Item() != 1 {
+		t.Error("neuron did not fire above threshold")
+	}
+	if math.Abs(v.Data.Item()-0.5) > 1e-12 {
+		t.Errorf("subtract-reset membrane = %v, want 0.5", v.Data.Item())
+	}
+}
+
+func TestLIFSpikesAreBinary(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRand(seed, 42)
+		cfg := DefaultNeuronConfig()
+		tp := autodiff.NewTape()
+		cur := tp.Const(tensor.RandN(r, 0, 2, 3, 4))
+		mem := tp.Const(tensor.RandN(r, 0, 1, 3, 4))
+		s, _ := LIFStep(tp, cfg, cur, mem)
+		for _, v := range s.Data.Data() {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLIFThresholdMonotonicity(t *testing.T) {
+	// Raising Vth can only reduce the number of spikes.
+	r := tensor.NewRand(5, 6)
+	cur := tensor.RandN(r, 0.5, 1, 100)
+	count := func(vth float64) float64 {
+		cfg := NeuronConfig{Vth: vth, Alpha: 1}
+		tp := autodiff.NewTape()
+		s, _ := LIFStep(tp, cfg, tp.Const(cur), tp.Const(tensor.New(100)))
+		return tensor.Sum(s.Data)
+	}
+	prev := count(0.1)
+	for _, vth := range []float64{0.5, 1, 1.5, 2.5} {
+		c := count(vth)
+		if c > prev {
+			t.Errorf("spike count increased from %v to %v when Vth rose to %v", prev, c, vth)
+		}
+		prev = c
+	}
+}
+
+func TestLIFGradientFlowsThroughTime(t *testing.T) {
+	// A two-step unroll: gradients must reach the input of step 1 through
+	// the membrane chain of step 2.
+	cfg := NeuronConfig{Vth: 1, Alpha: 0.8, Reset: ResetZero, Surrogate: FastSigmoid{Beta: 2}}
+	tp := autodiff.NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0.5}, 1))
+	v := tp.Const(tensor.New(1))
+	var s *autodiff.Value
+	s, v = LIFStep(tp, cfg, x, v)
+	s2, _ := LIFStep(tp, cfg, x, v)
+	loss := tp.Sum(tp.Add(s, s2))
+	tp.Backward(loss)
+	if x.Grad == nil || x.Grad.At(0) == 0 {
+		t.Fatal("no gradient reached the input through the unrolled LIF chain")
+	}
+}
+
+func TestLIFSurrogateGradientMatchesFormula(t *testing.T) {
+	beta := 4.0
+	cfg := NeuronConfig{Vth: 1, Alpha: 1, Reset: ResetZero, Surrogate: FastSigmoid{Beta: beta}}
+	tp := autodiff.NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0.7}, 1))
+	s, _ := LIFStep(tp, cfg, x, tp.Const(tensor.New(1)))
+	tp.Backward(tp.Sum(s))
+	u := 0.7 - 1.0
+	want := 1 / math.Pow(1+beta*math.Abs(u), 2)
+	if math.Abs(x.Grad.At(0)-want) > 1e-12 {
+		t.Errorf("surrogate grad = %v, want %v", x.Grad.At(0), want)
+	}
+}
+
+func TestLIFShapeMismatchPanics(t *testing.T) {
+	tp := autodiff.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shapes did not panic")
+		}
+	}()
+	LIFStep(tp, DefaultNeuronConfig(), tp.Const(tensor.New(2)), tp.Const(tensor.New(3)))
+}
+
+func TestLIStepIntegration(t *testing.T) {
+	tp := autodiff.NewTape()
+	v := tp.Const(tensor.FromSlice([]float64{1}, 1))
+	cur := tp.Const(tensor.FromSlice([]float64{0.5}, 1))
+	v2 := LIStep(tp, 0.9, cur, v)
+	if math.Abs(v2.Data.Item()-1.4) > 1e-12 {
+		t.Errorf("LI membrane = %v, want 1.4", v2.Data.Item())
+	}
+}
+
+func TestLIStepBadAlphaPanics(t *testing.T) {
+	tp := autodiff.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha=0 did not panic")
+		}
+	}()
+	LIStep(tp, 0, tp.Const(tensor.New(1)), tp.Const(tensor.New(1)))
+}
+
+func TestConstantCurrentEncoder(t *testing.T) {
+	e := ConstantCurrentEncoder{Gain: 2}
+	tp := autodiff.NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0.5, 1}, 2))
+	y0 := e.Encode(tp, x, 0)
+	y9 := e.Encode(tp, x, 9)
+	if !y0.Data.AllClose(y9.Data, 0) {
+		t.Error("constant-current encoding varies over time")
+	}
+	if !y0.Data.AllClose(tensor.FromSlice([]float64{1, 2}, 2), 1e-12) {
+		t.Errorf("encoded = %v", y0.Data)
+	}
+	tp.Backward(tp.Sum(y0))
+	if !x.Grad.AllClose(tensor.Full(2, 2), 1e-12) {
+		t.Errorf("encoder grad = %v, want gain", x.Grad)
+	}
+}
+
+func TestConstantCurrentGainOneIsIdentityNode(t *testing.T) {
+	e := ConstantCurrentEncoder{Gain: 1}
+	tp := autodiff.NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0.3}, 1))
+	if y := e.Encode(tp, x, 0); y != x {
+		t.Error("gain-1 encoder should return the input node unchanged")
+	}
+}
+
+func TestPoissonEncoderRateMatchesIntensity(t *testing.T) {
+	e := NewPoissonEncoder(1, 1, 2)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.Full(0.3, 10000))
+	total := 0.0
+	const steps = 20
+	for t1 := 0; t1 < steps; t1++ {
+		s := e.Encode(tp, x, t1)
+		total += tensor.Mean(s.Data)
+	}
+	rate := total / steps
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("empirical rate %v, want ≈0.3", rate)
+	}
+}
+
+func TestPoissonEncoderBinaryAndClamped(t *testing.T) {
+	e := NewPoissonEncoder(1, 3, 4)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.FromSlice([]float64{-0.5, 0, 1, 2}, 4))
+	s := e.Encode(tp, x, 0)
+	d := s.Data.Data()
+	if d[0] != 0 || d[1] != 0 {
+		t.Error("non-positive intensity spiked")
+	}
+	if d[2] != 1 || d[3] != 1 {
+		t.Error("saturated intensity did not spike")
+	}
+}
+
+func TestPoissonEncoderDeterministicAfterReseed(t *testing.T) {
+	e := NewPoissonEncoder(1, 9, 9)
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.Full(0.5, 100))
+	a := e.Encode(tp, x, 0).Data.Clone()
+	e.Reseed(9, 9)
+	b := e.Encode(tp, x, 0).Data
+	if !a.AllClose(b, 0) {
+		t.Error("reseeded encoder produced different spikes")
+	}
+}
+
+func TestPoissonEncoderSTEGradient(t *testing.T) {
+	e := NewPoissonEncoder(2, 5, 5)
+	tp := autodiff.NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0.25}, 1)) // p = 0.5, in region
+	s := e.Encode(tp, x, 0)
+	tp.Backward(tp.Sum(s))
+	if g := x.Grad.At(0); g != 2 {
+		t.Errorf("STE gradient = %v, want gain 2", g)
+	}
+}
+
+func TestLatencyEncoderSingleSpikeTiming(t *testing.T) {
+	T := 8
+	e := LatencyEncoder{Gain: 1, T: T}
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.FromSlice([]float64{1.0, 0.5, 0.0}, 3))
+	counts := make([]float64, 3)
+	firstSpike := []int{-1, -1, -1}
+	for t1 := 0; t1 < T; t1++ {
+		s := e.Encode(tp, x, t1)
+		for i, v := range s.Data.Data() {
+			counts[i] += v
+			if v == 1 && firstSpike[i] < 0 {
+				firstSpike[i] = t1
+			}
+		}
+	}
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("positive pixels must spike exactly once, got %v", counts)
+	}
+	if counts[2] != 0 {
+		t.Error("zero pixel spiked")
+	}
+	if firstSpike[0] >= firstSpike[1] {
+		t.Errorf("brighter pixel must spike earlier: %v", firstSpike)
+	}
+}
+
+func buildTinySNN(seed uint64, vth float64, T int, mode ReadoutMode) *Network {
+	r := tensor.NewRand(seed, 0)
+	cfg := NeuronConfig{Vth: vth, Alpha: 0.9, Reset: ResetZero, Surrogate: FastSigmoid{Beta: 5}}
+	return &Network{
+		Encoder: ConstantCurrentEncoder{Gain: 1},
+		Hidden: []Layer{
+			{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, 16, 12)), Cfg: cfg},
+		},
+		Readout:    nn.NewLinear(r, 12, 3),
+		ReadoutCfg: cfg,
+		Mode:       mode,
+		T:          T,
+		LogitScale: 10,
+	}
+}
+
+func TestNetworkLogitsShape(t *testing.T) {
+	net := buildTinySNN(1, 1, 4, ReadoutSpikeCount)
+	tp := autodiff.NewTape()
+	r := tensor.NewRand(2, 0)
+	x := tp.Const(tensor.RandN(r, 0.5, 0.5, 5, 1, 4, 4))
+	y := net.Logits(tp, x)
+	if !y.Data.ShapeEquals(5, 3) {
+		t.Errorf("logits shape = %v, want [5 3]", y.Data.Shape())
+	}
+}
+
+func TestNetworkMembraneReadout(t *testing.T) {
+	net := buildTinySNN(3, 1, 4, ReadoutMembrane)
+	tp := autodiff.NewTape()
+	r := tensor.NewRand(4, 0)
+	x := tp.Const(tensor.RandN(r, 0.5, 0.5, 2, 1, 4, 4))
+	y := net.Logits(tp, x)
+	if !y.Data.ShapeEquals(2, 3) {
+		t.Errorf("logits shape = %v", y.Data.Shape())
+	}
+	if y.Data.HasNaN() {
+		t.Error("membrane readout produced NaN")
+	}
+}
+
+func TestNetworkGradReachesInputAndParams(t *testing.T) {
+	net := buildTinySNN(5, 0.5, 6, ReadoutSpikeCount)
+	tp := autodiff.NewTape()
+	r := tensor.NewRand(6, 0)
+	x := tp.Var(tensor.RandN(r, 0.8, 0.3, 2, 1, 4, 4))
+	loss := tp.SoftmaxCrossEntropy(net.Logits(tp, x), []int{0, 2})
+	tp.Backward(loss)
+	if x.Grad == nil || tensor.Sum(tensor.Abs(x.Grad)) == 0 {
+		t.Error("white-box input gradient is zero — attacks would be impossible")
+	}
+	nonzero := false
+	for _, p := range net.Params() {
+		if tensor.Sum(tensor.Abs(p.Grad)) > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("no parameter received gradient")
+	}
+}
+
+func TestNetworkHugeVthSilences(t *testing.T) {
+	// With an absurd threshold no spikes fire: spike-count logits are all
+	// zero, the defining failure mode of the paper's non-learnable corner.
+	net := buildTinySNN(7, 100, 5, ReadoutSpikeCount)
+	tp := autodiff.NewTape()
+	r := tensor.NewRand(8, 0)
+	x := tp.Const(tensor.RandN(r, 0.5, 0.2, 3, 1, 4, 4))
+	y := net.Logits(tp, x)
+	if tensor.Sum(tensor.Abs(y.Data)) != 0 {
+		t.Errorf("logits non-zero under Vth=100: %v", y.Data)
+	}
+}
+
+func TestNetworkLongerWindowMoreEvidence(t *testing.T) {
+	// Spike-count logits magnitude should not shrink when T grows for a
+	// constant-current drive (rates converge).
+	netShort := buildTinySNN(9, 0.5, 2, ReadoutSpikeCount)
+	netLong := buildTinySNN(9, 0.5, 16, ReadoutSpikeCount)
+	r := tensor.NewRand(10, 0)
+	xT := tensor.RandN(r, 0.8, 0.3, 2, 1, 4, 4)
+	tp1 := autodiff.NewTape()
+	y1 := netShort.Logits(tp1, tp1.Const(xT))
+	tp2 := autodiff.NewTape()
+	y2 := netLong.Logits(tp2, tp2.Const(xT))
+	if y1.Data.HasNaN() || y2.Data.HasNaN() {
+		t.Fatal("NaN logits")
+	}
+	// Both networks share weights (same seed), so rates must correlate;
+	// just assert the long window is non-degenerate.
+	if tensor.Sum(tensor.Abs(y2.Data)) == 0 && tensor.Sum(tensor.Abs(y1.Data)) > 0 {
+		t.Error("longer window lost all spikes")
+	}
+}
+
+func TestNetworkTraceRecording(t *testing.T) {
+	net := buildTinySNN(11, 0.5, 4, ReadoutSpikeCount)
+	net.Record = &Trace{}
+	tp := autodiff.NewTape()
+	r := tensor.NewRand(12, 0)
+	x := tp.Const(tensor.RandN(r, 0.8, 0.3, 2, 1, 4, 4))
+	net.Logits(tp, x)
+	if len(net.Record.SpikeRates) != 1 {
+		t.Fatalf("trace layers = %d", len(net.Record.SpikeRates))
+	}
+	rate := net.Record.SpikeRates[0]
+	if rate < 0 || rate > 1 {
+		t.Errorf("spike rate %v out of [0,1]", rate)
+	}
+}
+
+func TestNetworkValidateCatchesMistakes(t *testing.T) {
+	net := buildTinySNN(13, 1, 4, ReadoutSpikeCount)
+	net.T = 0
+	if err := net.Validate(); err == nil {
+		t.Error("T=0 validated")
+	}
+	net = buildTinySNN(13, 1, 4, ReadoutSpikeCount)
+	net.Encoder = nil
+	if err := net.Validate(); err == nil {
+		t.Error("nil encoder validated")
+	}
+	net = buildTinySNN(13, 1, 4, ReadoutSpikeCount)
+	net.LogitScale = 0
+	if err := net.Validate(); err == nil {
+		t.Error("zero LogitScale validated")
+	}
+	net = buildTinySNN(13, 1, 4, ReadoutSpikeCount)
+	net.Hidden[0].Cfg.Vth = -1
+	if err := net.Validate(); err == nil {
+		t.Error("negative Vth validated")
+	}
+}
+
+func TestSetVth(t *testing.T) {
+	net := buildTinySNN(14, 1, 4, ReadoutSpikeCount)
+	net.SetVth(2.25)
+	if net.Hidden[0].Cfg.Vth != 2.25 || net.ReadoutCfg.Vth != 2.25 {
+		t.Error("SetVth did not propagate")
+	}
+}
+
+func TestResetModeString(t *testing.T) {
+	if ResetZero.String() != "zero" || ResetSubtract.String() != "subtract" {
+		t.Error("ResetMode.String broken")
+	}
+	if ReadoutSpikeCount.String() != "spike_count" || ReadoutMembrane.String() != "membrane" {
+		t.Error("ReadoutMode.String broken")
+	}
+}
+
+// Determinism: identical seeds and inputs give identical logits.
+func TestNetworkDeterminism(t *testing.T) {
+	r := tensor.NewRand(20, 0)
+	xT := tensor.RandN(r, 0.8, 0.3, 2, 1, 4, 4)
+	run := func() *tensor.Tensor {
+		net := buildTinySNN(21, 1, 6, ReadoutSpikeCount)
+		tp := autodiff.NewTape()
+		return net.Logits(tp, tp.Const(xT)).Data
+	}
+	if !run().AllClose(run(), 0) {
+		t.Error("two identical constructions diverged")
+	}
+}
+
+// A tiny SNN must be able to learn a separable toy problem through BPTT —
+// the end-to-end sanity check for the whole surrogate-gradient machinery.
+func TestSNNLearnsToyProblem(t *testing.T) {
+	net := buildTinySNN(30, 0.5, 6, ReadoutSpikeCount)
+	r := tensor.NewRand(31, 0)
+	const n = 48
+	xs := tensor.New(n, 1, 4, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		// Three classes light up three different image quadrants.
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				xs.Set(1.0+0.1*r.NormFloat64(), i, 0, y+(c%2)*2, x+(c/2)*2)
+			}
+		}
+	}
+	var first, last float64
+	for epoch := 0; epoch < 60; epoch++ {
+		for _, p := range net.Params() {
+			p.ZeroGrad()
+		}
+		tp := autodiff.NewTape()
+		loss := tp.SoftmaxCrossEntropy(net.Logits(tp, tp.Const(xs)), labels)
+		if epoch == 0 {
+			first = loss.Data.Item()
+		}
+		last = loss.Data.Item()
+		tp.Backward(loss)
+		for _, p := range net.Params() {
+			tensor.Axpy(-0.05, p.Grad, p.Data)
+		}
+	}
+	if last >= first*0.8 {
+		t.Errorf("SNN BPTT did not reduce loss: %v -> %v", first, last)
+	}
+	tp := autodiff.NewTape()
+	pred := tensor.ArgmaxRows(net.Logits(tp, tp.Const(xs)).Data)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if correct < n*2/3 {
+		t.Errorf("SNN toy accuracy %d/%d", correct, n)
+	}
+}
+
+func TestNormalizedPoissonEncoderDenormalises(t *testing.T) {
+	// A pixel at normalised value x should spike with rate std·x + mean.
+	mean, std := 0.1307, 0.3081
+	e := NewNormalizedPoissonEncoder(1, mean, std, 1, 2)
+	raw := 0.8
+	normed := (raw - mean) / std
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.Full(normed, 5000))
+	total := 0.0
+	const steps = 20
+	for i := 0; i < steps; i++ {
+		total += tensor.Mean(e.Encode(tp, x, i).Data)
+	}
+	rate := total / steps
+	if math.Abs(rate-raw) > 0.01 {
+		t.Errorf("empirical rate %v, want ≈%v", rate, raw)
+	}
+}
+
+func TestNormalizedPoissonEncoderSTESlope(t *testing.T) {
+	mean, std := 0.1307, 0.3081
+	e := NewNormalizedPoissonEncoder(1, mean, std, 3, 4)
+	tp := autodiff.NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{0}, 1)) // rate = mean, inside (0,1)
+	s := e.Encode(tp, x, 0)
+	tp.Backward(tp.Sum(s))
+	if g := x.Grad.At(0); math.Abs(g-std) > 1e-12 {
+		t.Errorf("STE slope = %v, want Gain·Scale = %v", g, std)
+	}
+}
+
+func TestPoissonEncoderZeroScaleDefaultsToOne(t *testing.T) {
+	// A zero-valued Scale field (struct literal without Scale) must not
+	// silence the encoder.
+	e := &PoissonEncoder{Gain: 1, rng: tensor.NewRand(1, 1)}
+	tp := autodiff.NewTape()
+	x := tp.Const(tensor.Full(1.0, 100))
+	s := e.Encode(tp, x, 0)
+	if tensor.Sum(s.Data) != 100 {
+		t.Errorf("saturated input spiked %v/100 with zero Scale", tensor.Sum(s.Data))
+	}
+}
+
+func TestEncoderNames(t *testing.T) {
+	names := []string{
+		ConstantCurrentEncoder{Gain: 1}.Name(),
+		NewPoissonEncoder(1, 1, 1).Name(),
+		LatencyEncoder{Gain: 1, T: 4}.Name(),
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Error("empty encoder name")
+		}
+	}
+}
+
+func TestLatencyEncoderRequiresT(t *testing.T) {
+	tp := autodiff.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("T=0 latency encoder did not panic")
+		}
+	}()
+	LatencyEncoder{Gain: 1}.Encode(tp, tp.Const(tensor.New(1)), 0)
+}

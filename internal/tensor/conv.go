@@ -1,0 +1,179 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution: kernel size, stride and symmetric
+// zero padding.
+type ConvParams struct {
+	Stride  int
+	Padding int
+}
+
+// ConvOutSize returns the output spatial size for an input of size in with
+// kernel k under p.
+func (p ConvParams) ConvOutSize(in, k int) int {
+	return (in+2*p.Padding-k)/p.Stride + 1
+}
+
+func (p ConvParams) validate() {
+	if p.Stride <= 0 {
+		panic(fmt.Sprintf("tensor: conv stride must be positive, got %d", p.Stride))
+	}
+	if p.Padding < 0 {
+		panic(fmt.Sprintf("tensor: conv padding must be non-negative, got %d", p.Padding))
+	}
+}
+
+// Im2Col expands one image [C,H,W] into a column matrix [C*KH*KW, OH*OW]
+// for convolution with kernel (kh, kw) under p. Out-of-bounds taps are
+// zero.
+func Im2Col(img *Tensor, kh, kw int, p ConvParams) *Tensor {
+	p.validate()
+	if img.Dims() != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col needs [C,H,W], got %v", img.shape))
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col non-positive output %dx%d for input %v kernel %dx%d", oh, ow, img.shape, kh, kw))
+	}
+	col := New(c*kh*kw, oh*ow)
+	for ci := 0; ci < c; ci++ {
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				r := (ci*kh+ki)*kw + kj
+				dst := col.data[r*oh*ow : (r+1)*oh*ow]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*p.Stride + ki - p.Padding
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := img.data[(ci*h+iy)*w : (ci*h+iy+1)*w]
+					base := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*p.Stride + kj - p.Padding
+						if ix >= 0 && ix < w {
+							dst[base+ox] = srcRow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// Col2Im scatters a column matrix [C*KH*KW, OH*OW] back into an image
+// gradient [C,H,W], accumulating overlapping taps. It is the adjoint of
+// Im2Col.
+func Col2Im(col *Tensor, c, h, w, kh, kw int, p ConvParams) *Tensor {
+	p.validate()
+	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	if !col.ShapeEquals(c*kh*kw, oh*ow) {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d h=%d w=%d k=%dx%d", col.shape, c, h, w, kh, kw))
+	}
+	img := New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				r := (ci*kh+ki)*kw + kj
+				src := col.data[r*oh*ow : (r+1)*oh*ow]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*p.Stride + ki - p.Padding
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := img.data[(ci*h+iy)*w : (ci*h+iy+1)*w]
+					base := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*p.Stride + kj - p.Padding
+						if ix >= 0 && ix < w {
+							dstRow[ix] += src[base+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// Conv2D computes a batched 2-D convolution (cross-correlation, as in deep
+// learning frameworks). x is [N,C,H,W], weight is [F,C,KH,KW], bias is [F]
+// or nil. The result is [N,F,OH,OW].
+func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
+	p.validate()
+	if x.Dims() != 4 || weight.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D needs 4-d x and weight, got %v, %v", x.shape, weight.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	f, cw, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if c != cw {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch x=%v weight=%v", x.shape, weight.shape))
+	}
+	if bias != nil && !bias.ShapeEquals(f) {
+		panic(fmt.Sprintf("tensor: Conv2D bias shape %v, want [%d]", bias.shape, f))
+	}
+	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	wmat := weight.Reshape(f, c*kh*kw)
+	out := New(n, f, oh, ow)
+	for i := 0; i < n; i++ {
+		img := &Tensor{shape: []int{c, h, w}, data: x.data[i*c*h*w : (i+1)*c*h*w]}
+		col := Im2Col(img, kh, kw, p)
+		res := MatMul(wmat, col) // [F, OH*OW]
+		dst := out.data[i*f*oh*ow : (i+1)*f*oh*ow]
+		copy(dst, res.data)
+		if bias != nil {
+			for fi := 0; fi < f; fi++ {
+				b := bias.data[fi]
+				seg := dst[fi*oh*ow : (fi+1)*oh*ow]
+				for j := range seg {
+					seg[j] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes the gradients of a Conv2D call given the upstream
+// gradient gout [N,F,OH,OW]. It returns (dx, dweight, dbias); dbias is nil
+// when hasBias is false.
+func Conv2DBackward(x, weight, gout *Tensor, p ConvParams, hasBias bool) (dx, dweight, dbias *Tensor) {
+	p.validate()
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	f, _, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	if !gout.ShapeEquals(n, f, oh, ow) {
+		panic(fmt.Sprintf("tensor: Conv2DBackward gout shape %v, want [%d %d %d %d]", gout.shape, n, f, oh, ow))
+	}
+	wmat := weight.Reshape(f, c*kh*kw)
+	dx = New(n, c, h, w)
+	dwmat := New(f, c*kh*kw)
+	if hasBias {
+		dbias = New(f)
+	}
+	for i := 0; i < n; i++ {
+		img := &Tensor{shape: []int{c, h, w}, data: x.data[i*c*h*w : (i+1)*c*h*w]}
+		col := Im2Col(img, kh, kw, p)
+		g := &Tensor{shape: []int{f, oh * ow}, data: gout.data[i*f*oh*ow : (i+1)*f*oh*ow]}
+		// dW += g · colᵀ
+		AddInto(dwmat, MatMulABT(g, col))
+		// dcol = Wᵀ · g, scattered back into dx
+		dcol := MatMulATB(wmat, g)
+		dimg := Col2Im(dcol, c, h, w, kh, kw, p)
+		copy(dx.data[i*c*h*w:(i+1)*c*h*w], dimg.data)
+		if hasBias {
+			for fi := 0; fi < f; fi++ {
+				seg := g.data[fi*oh*ow : (fi+1)*oh*ow]
+				var s float64
+				for _, v := range seg {
+					s += v
+				}
+				dbias.data[fi] += s
+			}
+		}
+	}
+	dweight = dwmat.Reshape(f, c, kh, kw)
+	return dx, dweight, dbias
+}

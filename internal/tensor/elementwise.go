@@ -1,0 +1,206 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	assertSameShape("Div", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] / b.data[i]
+	}
+	return out
+}
+
+// Scale returns a*s elementwise.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// AddScalar returns a+s elementwise.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = a.data[i] + s
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
+
+// Apply returns f applied elementwise.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Tensor) *Tensor { return Apply(a, math.Exp) }
+
+// Log returns ln(a) elementwise.
+func Log(a *Tensor) *Tensor { return Apply(a, math.Log) }
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Tensor) *Tensor { return Apply(a, math.Tanh) }
+
+// Sigmoid returns the logistic function of a elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	return Apply(a, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+}
+
+// ReLU returns max(a, 0) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return Apply(a, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Sign returns the elementwise sign of a (−1, 0 or +1).
+func Sign(a *Tensor) *Tensor {
+	return Apply(a, func(v float64) float64 {
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// Abs returns |a| elementwise.
+func Abs(a *Tensor) *Tensor { return Apply(a, math.Abs) }
+
+// Clamp returns a with each element limited to [lo, hi].
+func Clamp(a *Tensor, lo, hi float64) *Tensor {
+	return Apply(a, func(v float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	})
+}
+
+// Maximum returns the elementwise maximum of a and b.
+func Maximum(a, b *Tensor) *Tensor {
+	assertSameShape("Maximum", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = math.Max(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Minimum returns the elementwise minimum of a and b.
+func Minimum(a, b *Tensor) *Tensor {
+	assertSameShape("Minimum", a, b)
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = math.Min(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// AddInto computes dst += src elementwise in place.
+func AddInto(dst, src *Tensor) {
+	assertSameShape("AddInto", dst, src)
+	for i := range dst.data {
+		dst.data[i] += src.data[i]
+	}
+}
+
+// SubInto computes dst -= src elementwise in place.
+func SubInto(dst, src *Tensor) {
+	assertSameShape("SubInto", dst, src)
+	for i := range dst.data {
+		dst.data[i] -= src.data[i]
+	}
+}
+
+// MulInto computes dst *= src elementwise in place.
+func MulInto(dst, src *Tensor) {
+	assertSameShape("MulInto", dst, src)
+	for i := range dst.data {
+		dst.data[i] *= src.data[i]
+	}
+}
+
+// ScaleInto computes dst *= s in place.
+func ScaleInto(dst *Tensor, s float64) {
+	for i := range dst.data {
+		dst.data[i] *= s
+	}
+}
+
+// Axpy computes dst += alpha*src in place.
+func Axpy(alpha float64, src, dst *Tensor) {
+	assertSameShape("Axpy", dst, src)
+	for i := range dst.data {
+		dst.data[i] += alpha * src.data[i]
+	}
+}
+
+// ClampInto limits each element of dst to [lo, hi] in place.
+func ClampInto(dst *Tensor, lo, hi float64) {
+	for i, v := range dst.data {
+		if v < lo {
+			dst.data[i] = lo
+		} else if v > hi {
+			dst.data[i] = hi
+		}
+	}
+}

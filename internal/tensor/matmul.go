@@ -1,0 +1,136 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors of shapes [m,k] and
+// [k,n]. The inner loops are ordered i-k-j so the innermost loop streams
+// contiguously over both b and the output row.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ·b for a of shape [k,m] and b of shape [k,n],
+// producing [m,n], without materialising the transpose.
+func MatMulATB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulATB needs 2-d operands, got %v x %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulATB dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ for a of shape [m,k] and b of shape [n,k],
+// producing [m,n], without materialising the transpose.
+func MatMulABT(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulABT needs 2-d operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulABT dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D on %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// AddRowVector returns a with the 1-D vector v (length = a columns) added
+// to every row of the 2-D tensor a. Used for bias broadcasting.
+func AddRowVector(a, v *Tensor) *Tensor {
+	if a.Dims() != 2 || v.Dims() != 1 || v.shape[0] != a.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector shape mismatch %v + %v", a.shape, v.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[i*n+j] = a.data[i*n+j] + v.data[j]
+		}
+	}
+	return out
+}
+
+// SumRows returns the column sums of a 2-D tensor as a 1-D vector. It is
+// the gradient counterpart of AddRowVector.
+func SumRows(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SumRows on %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j] += a.data[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import "fmt"
+
+// AvgPool2D performs non-overlapping average pooling with a k×k window and
+// stride k over x of shape [N,C,H,W]. H and W must be divisible by k.
+func AvgPool2D(x *Tensor, k int) *Tensor {
+	n, c, h, w := poolCheck("AvgPool2D", x, k)
+	oh, ow := h/k, w/k
+	out := New(n, c, oh, ow)
+	inv := 1 / float64(k*k)
+	for i := 0; i < n*c; i++ {
+		src := x.data[i*h*w : (i+1)*h*w]
+		dst := out.data[i*oh*ow : (i+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float64
+				for ky := 0; ky < k; ky++ {
+					row := src[(oy*k+ky)*w+ox*k:]
+					for kx := 0; kx < k; kx++ {
+						s += row[kx]
+					}
+				}
+				dst[oy*ow+ox] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2DBackward distributes the upstream gradient gout [N,C,OH,OW]
+// uniformly over each pooling window, returning dx [N,C,H,W].
+func AvgPool2DBackward(gout *Tensor, k, h, w int) *Tensor {
+	if gout.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: AvgPool2DBackward needs 4-d gout, got %v", gout.shape))
+	}
+	n, c, oh, ow := gout.shape[0], gout.shape[1], gout.shape[2], gout.shape[3]
+	if oh*k != h || ow*k != w {
+		panic(fmt.Sprintf("tensor: AvgPool2DBackward size mismatch out=%dx%d k=%d in=%dx%d", oh, ow, k, h, w))
+	}
+	dx := New(n, c, h, w)
+	inv := 1 / float64(k*k)
+	for i := 0; i < n*c; i++ {
+		src := gout.data[i*oh*ow : (i+1)*oh*ow]
+		dst := dx.data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := src[oy*ow+ox] * inv
+				for ky := 0; ky < k; ky++ {
+					row := dst[(oy*k+ky)*w+ox*k:]
+					for kx := 0; kx < k; kx++ {
+						row[kx] += g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPool2D performs non-overlapping max pooling with a k×k window and
+// stride k. It returns the pooled tensor and the flat argmax index (within
+// the input plane) of each output element, for use by the backward pass.
+func MaxPool2D(x *Tensor, k int) (*Tensor, []int) {
+	n, c, h, w := poolCheck("MaxPool2D", x, k)
+	oh, ow := h/k, w/k
+	out := New(n, c, oh, ow)
+	arg := make([]int, n*c*oh*ow)
+	for i := 0; i < n*c; i++ {
+		src := x.data[i*h*w : (i+1)*h*w]
+		dst := out.data[i*oh*ow : (i+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := src[oy*k*w+ox*k]
+				bestIdx := oy*k*w + ox*k
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						idx := (oy*k+ky)*w + ox*k + kx
+						if src[idx] > best {
+							best = src[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				dst[oy*ow+ox] = best
+				arg[i*oh*ow+oy*ow+ox] = bestIdx
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward routes the upstream gradient to the argmax positions
+// recorded by MaxPool2D.
+func MaxPool2DBackward(gout *Tensor, arg []int, k, h, w int) *Tensor {
+	n, c, oh, ow := gout.shape[0], gout.shape[1], gout.shape[2], gout.shape[3]
+	if oh*k != h || ow*k != w {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackward size mismatch out=%dx%d k=%d in=%dx%d", oh, ow, k, h, w))
+	}
+	if len(arg) != n*c*oh*ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackward argmax length %d, want %d", len(arg), n*c*oh*ow))
+	}
+	dx := New(n, c, h, w)
+	for i := 0; i < n*c; i++ {
+		src := gout.data[i*oh*ow : (i+1)*oh*ow]
+		dst := dx.data[i*h*w : (i+1)*h*w]
+		for j, g := range src {
+			dst[arg[i*oh*ow+j]] += g
+		}
+	}
+	return dx
+}
+
+func poolCheck(op string, x *Tensor, k int) (n, c, h, w int) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: %s needs [N,C,H,W], got %v", op, x.shape))
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("tensor: %s window must be positive, got %d", op, k))
+	}
+	n, c, h, w = x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("tensor: %s input %dx%d not divisible by window %d", op, h, w, k))
+	}
+	return n, c, h, w
+}

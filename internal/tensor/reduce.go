@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sum returns the sum of all elements.
+func Sum(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(a *Tensor) float64 { return Sum(a) / float64(len(a.data)) }
+
+// Max returns the maximum element.
+func Max(a *Tensor) float64 {
+	m := math.Inf(-1)
+	for _, v := range a.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func Min(a *Tensor) float64 {
+	m := math.Inf(1)
+	for _, v := range a.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Argmax returns the flat index of the largest element (first on ties).
+func Argmax(a *Tensor) int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range a.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ArgmaxRows returns, for a 2-D tensor, the argmax of each row. This is the
+// predicted class per sample for a [batch, classes] logit matrix.
+func ArgmaxRows(a *Tensor) []int {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: ArgmaxRows on %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Dot returns the inner product of two tensors with equal element counts.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %v vs %v", a.shape, b.shape))
+	}
+	var s float64
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of all elements.
+func Norm2(a *Tensor) float64 { return math.Sqrt(Dot(a, a)) }
+
+// NormInf returns the maximum absolute element.
+func NormInf(a *Tensor) float64 {
+	var m float64
+	for _, v := range a.data {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// SoftmaxRows returns row-wise softmax of a 2-D tensor, computed with the
+// usual max-subtraction for numerical stability.
+func SoftmaxRows(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SoftmaxRows on %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		orow := out.data[i*n : (i+1)*n]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			z += e
+		}
+		for j := range orow {
+			orow[j] /= z
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"snnsec/internal/dataset"
+	"snnsec/internal/nn"
+	"snnsec/internal/tensor"
+)
+
+// quadratic builds a single-parameter "model" minimising (w-3)² through
+// the optimiser interface, by setting the gradient manually.
+func quadStep(o Optimizer, w *nn.Param) {
+	w.ZeroGrad()
+	w.Grad.Data()[0] = 2 * (w.Data.Data()[0] - 3)
+	o.Step([]*nn.Param{w})
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	w := nn.NewParam("w", tensor.Scalar(0))
+	o := NewSGD(0.1)
+	for i := 0; i < 100; i++ {
+		quadStep(o, w)
+	}
+	if math.Abs(w.Data.Item()-3) > 1e-6 {
+		t.Errorf("SGD converged to %v, want 3", w.Data.Item())
+	}
+}
+
+func TestMomentumConvergesOnQuadratic(t *testing.T) {
+	w := nn.NewParam("w", tensor.Scalar(0))
+	o := NewMomentum(0.05, 0.9)
+	for i := 0; i < 200; i++ {
+		quadStep(o, w)
+	}
+	if math.Abs(w.Data.Item()-3) > 1e-4 {
+		t.Errorf("Momentum converged to %v, want 3", w.Data.Item())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	w := nn.NewParam("w", tensor.Scalar(0))
+	o := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		quadStep(o, w)
+	}
+	if math.Abs(w.Data.Item()-3) > 1e-3 {
+		t.Errorf("Adam converged to %v, want 3", w.Data.Item())
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	w := nn.NewParam("w", tensor.Scalar(10))
+	o := NewSGD(0.1)
+	o.WeightDecay = 0.5
+	w.ZeroGrad() // zero gradient: only decay acts
+	o.Step([]*nn.Param{w})
+	if got := w.Data.Item(); math.Abs(got-9.5) > 1e-12 {
+		t.Errorf("decayed to %v, want 9.5", got)
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	for _, o := range []Optimizer{NewSGD(0.1), NewMomentum(0.1, 0.9), NewAdam(0.1)} {
+		o.SetLR(0.01)
+		if o.LR() != 0.01 {
+			t.Errorf("%T SetLR failed", o)
+		}
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	cs := ConstantSchedule{Value: 0.5}
+	if cs.Rate(0) != 0.5 || cs.Rate(100) != 0.5 {
+		t.Error("constant schedule varies")
+	}
+	ss := StepSchedule{Base: 1, Gamma: 0.1, Every: 10}
+	if ss.Rate(0) != 1 || math.Abs(ss.Rate(10)-0.1) > 1e-12 || math.Abs(ss.Rate(25)-0.01) > 1e-12 {
+		t.Errorf("step schedule: %v %v %v", ss.Rate(0), ss.Rate(10), ss.Rate(25))
+	}
+	cos := CosineSchedule{Base: 1, Floor: 0.1, Epochs: 11}
+	if cos.Rate(0) != 1 {
+		t.Errorf("cosine start = %v", cos.Rate(0))
+	}
+	if math.Abs(cos.Rate(10)-0.1) > 1e-9 {
+		t.Errorf("cosine end = %v", cos.Rate(10))
+	}
+	if cos.Rate(100) != 0.1 {
+		t.Errorf("cosine beyond end = %v", cos.Rate(100))
+	}
+	mid := cos.Rate(5)
+	if mid <= 0.1 || mid >= 1 {
+		t.Errorf("cosine mid = %v", mid)
+	}
+}
+
+func TestStepScheduleBadEveryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every=0 did not panic")
+		}
+	}()
+	StepSchedule{Base: 1, Gamma: 0.5}.Rate(1)
+}
+
+func smallData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultSynthConfig(n, 77)
+	cfg.Size = 12
+	d, err := dataset.SynthDigits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Normalize()
+	return d
+}
+
+func smallCNN(seed uint64) *nn.Sequential {
+	r := tensor.NewRand(seed, 0)
+	return nn.NewSequential(
+		nn.NewConv2D(r, 1, 6, 3, 2, 1), // 12 -> 6
+		nn.ReLU{},
+		nn.Flatten{},
+		nn.NewLinear(r, 6*6*6, 10),
+	)
+}
+
+func TestFitReducesLossAndReportsAccuracy(t *testing.T) {
+	ds := smallData(t, 120)
+	model := smallCNN(1)
+	var buf bytes.Buffer
+	res, err := Fit(model, ds, Config{
+		Epochs:    6,
+		BatchSize: 24,
+		Optimizer: NewAdam(3e-3),
+		Log:       &buf,
+		Shuffle:   tensor.NewRand(5, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= res.EpochLosses[0] {
+		t.Errorf("loss did not fall: %v -> %v", res.EpochLosses[0], res.FinalLoss)
+	}
+	if res.TrainAccuracy < 0.5 {
+		t.Errorf("train accuracy %v too low", res.TrainAccuracy)
+	}
+	if !strings.Contains(buf.String(), "epoch") {
+		t.Error("no log output")
+	}
+	acc := Evaluate(model, ds, 32)
+	if math.Abs(acc-res.TrainAccuracy) > 0.3 {
+		t.Errorf("Evaluate %v inconsistent with training accuracy %v", acc, res.TrainAccuracy)
+	}
+}
+
+func TestFitEarlyStop(t *testing.T) {
+	ds := smallData(t, 60)
+	model := smallCNN(2)
+	res, err := Fit(model, ds, Config{
+		Epochs:       50,
+		BatchSize:    20,
+		Optimizer:    NewAdam(5e-3),
+		EarlyStopAcc: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 50 && res.TrainAccuracy < 0.6 {
+		t.Skip("model failed to reach early-stop accuracy; nothing to assert")
+	}
+	if res.Epochs == 50 {
+		t.Error("early stop did not trigger despite reaching threshold")
+	}
+}
+
+func TestFitConfigValidation(t *testing.T) {
+	ds := smallData(t, 10)
+	if _, err := Fit(smallCNN(3), ds, Config{Epochs: 0, BatchSize: 4}); err == nil {
+		t.Error("Epochs=0 accepted")
+	}
+	if _, err := Fit(smallCNN(3), ds, Config{Epochs: 1, BatchSize: 0}); err == nil {
+		t.Error("BatchSize=0 accepted")
+	}
+}
+
+func TestFitDivergenceDetection(t *testing.T) {
+	ds := smallData(t, 20)
+	model := smallCNN(4)
+	// An absurd learning rate must produce NaN/Inf promptly and be
+	// reported as an error, not a silent garbage model.
+	_, err := Fit(model, ds, Config{Epochs: 30, BatchSize: 20, Optimizer: NewSGD(1e12)})
+	if err == nil {
+		t.Skip("model survived absurd LR; divergence path not exercised")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	p := nn.NewParam("p", tensor.New(3))
+	p.Grad.CopyFrom(tensor.FromSlice([]float64{3, 4, 0}, 3)) // norm 5
+	clipGrads([]*nn.Param{p}, 1)
+	if n := tensor.Norm2(p.Grad); math.Abs(n-1) > 1e-12 {
+		t.Errorf("clipped norm = %v, want 1", n)
+	}
+	// Below threshold: untouched.
+	p.Grad.CopyFrom(tensor.FromSlice([]float64{0.1, 0, 0}, 3))
+	clipGrads([]*nn.Param{p}, 1)
+	if p.Grad.At(0) != 0.1 {
+		t.Error("clip altered a small gradient")
+	}
+}
+
+func TestPredictAndConfusion(t *testing.T) {
+	ds := smallData(t, 60)
+	model := smallCNN(5)
+	if _, err := Fit(model, ds, Config{Epochs: 4, BatchSize: 20, Optimizer: NewAdam(3e-3)}); err != nil {
+		t.Fatal(err)
+	}
+	preds := Predict(model, ds.X)
+	if len(preds) != ds.Len() {
+		t.Fatalf("Predict returned %d results", len(preds))
+	}
+	cm := ConfusionMatrix(model, ds, 32)
+	if len(cm) != 10 {
+		t.Fatalf("confusion matrix has %d rows", len(cm))
+	}
+	total := 0
+	for _, row := range cm {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != ds.Len() {
+		t.Errorf("confusion matrix sums to %d, want %d", total, ds.Len())
+	}
+}
+
+func TestScheduleDrivesOptimizer(t *testing.T) {
+	ds := smallData(t, 20)
+	model := smallCNN(6)
+	opt := NewSGD(999) // will be overwritten by the schedule
+	_, err := Fit(model, ds, Config{
+		Epochs: 2, BatchSize: 10, Optimizer: opt,
+		Schedule: ConstantSchedule{Value: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.LR() != 0.01 {
+		t.Errorf("schedule did not set LR: %v", opt.LR())
+	}
+}

@@ -1,0 +1,164 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/dataset"
+	"snnsec/internal/nn"
+	"snnsec/internal/tensor"
+)
+
+// Config parameterises a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	// Optimizer defaults to Adam(1e-3) when nil.
+	Optimizer Optimizer
+	// Schedule, when non-nil, overrides the optimiser's rate per epoch.
+	Schedule Schedule
+	// GradClip, when positive, rescales each parameter gradient to at
+	// most this L2 norm — essential for stabilising deep BPTT.
+	GradClip float64
+	// Shuffle reshuffles the training set each epoch with this
+	// generator; nil disables shuffling.
+	Shuffle *rand.Rand
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+	// EarlyStopAcc stops training once training-batch accuracy reaches
+	// this level (0 disables). Used by the exploration sweep to cut the
+	// cost of clearly-learnable grid points.
+	EarlyStopAcc float64
+}
+
+// Result summarises a training run.
+type Result struct {
+	EpochLosses []float64
+	FinalLoss   float64
+	// TrainAccuracy is measured on the training set after the last
+	// epoch.
+	TrainAccuracy float64
+	Epochs        int
+}
+
+// Fit trains the classifier on ds with softmax cross-entropy.
+func Fit(model nn.Classifier, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: Epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("train: BatchSize must be positive, got %d", cfg.BatchSize)
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = NewAdam(1e-3)
+	}
+	if tr, ok := model.(nn.Trainable); ok {
+		tr.SetTraining(true)
+		defer tr.SetTraining(false)
+	}
+	res := &Result{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Schedule != nil {
+			opt.SetLR(cfg.Schedule.Rate(epoch))
+		}
+		if cfg.Shuffle != nil {
+			ds.Shuffle(cfg.Shuffle)
+		}
+		var epochLoss float64
+		var batches int
+		correct, seen := 0, 0
+		for _, b := range ds.Batches(cfg.BatchSize) {
+			for _, p := range model.Params() {
+				p.ZeroGrad()
+			}
+			tp := autodiff.NewTape()
+			x := tp.Const(b.X)
+			logits := model.Logits(tp, x)
+			loss := tp.SoftmaxCrossEntropy(logits, b.Y)
+			lv := loss.Data.Item()
+			if math.IsNaN(lv) || math.IsInf(lv, 0) {
+				return nil, fmt.Errorf("train: loss diverged to %v at epoch %d", lv, epoch)
+			}
+			epochLoss += lv
+			batches++
+			tp.Backward(loss)
+			if cfg.GradClip > 0 {
+				clipGrads(model.Params(), cfg.GradClip)
+			}
+			opt.Step(model.Params())
+			for i, p := range tensor.ArgmaxRows(logits.Data) {
+				if p == b.Y[i] {
+					correct++
+				}
+				seen++
+			}
+		}
+		avg := epochLoss / float64(batches)
+		acc := float64(correct) / float64(seen)
+		res.EpochLosses = append(res.EpochLosses, avg)
+		res.FinalLoss = avg
+		res.TrainAccuracy = acc
+		res.Epochs = epoch + 1
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d  loss %.4f  train-acc %.3f  lr %.2g\n", epoch, avg, acc, opt.LR())
+		}
+		if cfg.EarlyStopAcc > 0 && acc >= cfg.EarlyStopAcc {
+			break
+		}
+	}
+	return res, nil
+}
+
+// clipGrads rescales each parameter gradient to L2 norm at most c.
+func clipGrads(params []*nn.Param, c float64) {
+	for _, p := range params {
+		n := tensor.Norm2(p.Grad)
+		if n > c {
+			tensor.ScaleInto(p.Grad, c/n)
+		}
+	}
+}
+
+// Evaluate returns classification accuracy of the model on ds, processed
+// in batches of batchSize.
+func Evaluate(model nn.Classifier, ds *dataset.Dataset, batchSize int) float64 {
+	correct := 0
+	for _, b := range ds.Batches(batchSize) {
+		tp := autodiff.NewTape()
+		logits := model.Logits(tp, tp.Const(b.X))
+		for i, p := range tensor.ArgmaxRows(logits.Data) {
+			if p == b.Y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Predict returns the predicted class of each sample in x [N,1,H,W].
+func Predict(model nn.Classifier, x *tensor.Tensor) []int {
+	tp := autodiff.NewTape()
+	return tensor.ArgmaxRows(model.Logits(tp, tp.Const(x)).Data)
+}
+
+// ConfusionMatrix returns the [classes][classes] count matrix with rows =
+// true label, columns = prediction.
+func ConfusionMatrix(model nn.Classifier, ds *dataset.Dataset, batchSize int) [][]int {
+	c := ds.NumClasses()
+	m := make([][]int, c)
+	for i := range m {
+		m[i] = make([]int, c)
+	}
+	for _, b := range ds.Batches(batchSize) {
+		tp := autodiff.NewTape()
+		logits := model.Logits(tp, tp.Const(b.X))
+		for i, p := range tensor.ArgmaxRows(logits.Data) {
+			m[b.Y[i]][p]++
+		}
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+// Integration tests asserting the paper's qualitative claims end-to-end
+// at a reduced scale. They complement the benchmark harness: benchmarks
+// print the regenerated figures, these tests *fail* if the reproduction
+// loses the phenomena.
+package snnsec
+
+import (
+	"testing"
+
+	"snnsec/internal/attack"
+	"snnsec/internal/core"
+	"snnsec/internal/tensor"
+)
+
+// reproScale is small enough for `go test ./...` to stay in tens of
+// seconds on one core.
+func reproScale() core.Scale {
+	s := core.BenchScale()
+	s.Data = core.DataConfig{TrainN: 500, TestN: 60, ImageSize: 16, Seed: 1}
+	s.Epochs = 5
+	s.DefaultT = 8
+	s.CurveEpsilons = []float64{0, 0.5, 1.0}
+	s.AttackSteps = 4
+	return s
+}
+
+// TestMotivationalCrossover asserts Figure 1's shape: the CNN starts
+// ahead on clean data, and beyond a turnaround ε the SNN is the more
+// robust model.
+func TestMotivationalCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment in -short mode")
+	}
+	res, err := core.RunFig1(reproScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CNNClean < 0.7 {
+		t.Fatalf("CNN clean accuracy %v too low for the comparison", res.CNNClean)
+	}
+	if res.SNNClean < 0.5 {
+		t.Fatalf("SNN clean accuracy %v too low for the comparison", res.SNNClean)
+	}
+	if res.CNNClean <= res.SNNClean-0.05 {
+		t.Errorf("pointer-1 of Fig 1 lost: CNN clean %v should exceed SNN clean %v", res.CNNClean, res.SNNClean)
+	}
+	if _, ok := res.Crossover(); !ok {
+		t.Errorf("no turnaround point: CNN %v vs SNN %v", res.CNN, res.SNN)
+	}
+}
+
+// TestSilentThresholdUnlearnable asserts Figure 6's dead corner: an
+// absurd firing threshold silences the network and the learnability gate
+// must reject it.
+func TestSilentThresholdUnlearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment in -short mode")
+	}
+	s := reproScale()
+	s.Epochs = 1
+	trainDS, testDS, err := core.LoadData(s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, acc, err := s.TrainSNN(1e6, 4, trainDS, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc >= 0.3 {
+		t.Errorf("silent network reached accuracy %v", acc)
+	}
+}
+
+// TestPGDStrongerThanRandomNoise asserts the attack is genuinely
+// adversarial: at equal magnitude, PGD must hurt the CNN at least as much
+// as undirected Gaussian noise.
+func TestPGDStrongerThanRandomNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment in -short mode")
+	}
+	s := reproScale()
+	trainDS, testDS, err := core.LoadData(s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn, acc, err := s.TrainCNN(trainDS, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Fatalf("CNN too weak: %v", acc)
+	}
+	bounds := attack.DatasetBounds(testDS)
+	pgd := attack.Evaluate(cnn, testDS, attack.PGD{
+		Eps: 0.5, Steps: 4, RandomStart: true, Rand: tensor.NewRand(1, 1), Bounds: bounds,
+	}, 32)
+	noise := attack.Evaluate(cnn, testDS, attack.GaussianNoise{
+		Std: 0.5, Rand: tensor.NewRand(2, 2), Bounds: bounds,
+	}, 32)
+	if pgd.RobustAccuracy > noise.RobustAccuracy {
+		t.Errorf("PGD (robust %v) weaker than random noise (robust %v)", pgd.RobustAccuracy, noise.RobustAccuracy)
+	}
+}
