@@ -15,13 +15,16 @@
 package snnsec
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"snnsec/internal/attack"
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/core"
 	"snnsec/internal/dataset"
 	"snnsec/internal/explore"
@@ -425,6 +428,116 @@ func BenchmarkSynthDigits(b *testing.B) {
 		if _, err := dataset.SynthDigits(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compute-backend benchmarks: the same kernel on the Serial and Parallel
+// backends. The pairs feed BENCH_compute.json (see
+// TestWriteComputeBenchJSON) so the perf trajectory of the compute layer
+// is tracked from this PR on.
+
+func benchMatMul256(b *testing.B, be compute.Backend) {
+	r := tensor.NewRand(9, 9)
+	x := tensor.RandN(r, 0, 1, 256, 256)
+	y := tensor.RandN(r, 0, 1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulOn(be, x, y)
+	}
+}
+
+func BenchmarkMatMul256Serial(b *testing.B)   { benchMatMul256(b, compute.NewSerial()) }
+func BenchmarkMatMul256Parallel(b *testing.B) { benchMatMul256(b, compute.NewParallel(0)) }
+
+func benchConvForwardBatch32(b *testing.B, be compute.Backend) {
+	r := tensor.NewRand(10, 10)
+	x := tensor.RandN(r, 0, 1, 32, 1, 16, 16)
+	w := tensor.RandN(r, 0, 1, 6, 1, 5, 5)
+	bias := tensor.RandN(r, 0, 1, 6)
+	p := tensor.ConvParams{Stride: 1, Padding: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DOn(be, x, w, bias, p)
+	}
+}
+
+func BenchmarkConvForwardBatch32Serial(b *testing.B) {
+	benchConvForwardBatch32(b, compute.NewSerial())
+}
+func BenchmarkConvForwardBatch32Parallel(b *testing.B) {
+	benchConvForwardBatch32(b, compute.NewParallel(0))
+}
+
+func benchSNNBPTTStep(b *testing.B, be compute.Backend) {
+	net, err := core.NewSpikingLeNet5(core.DefaultLeNetConfig(16, 1), 1, 12, core.SNNOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := tensor.NewRand(11, 11)
+	x := tensor.RandN(r, 0, 1, 8, 1, 16, 16)
+	labels := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range net.Params() {
+			p.ZeroGrad()
+		}
+		tp := autodiff.NewTapeOn(be)
+		loss := tp.SoftmaxCrossEntropy(net.Logits(tp, tp.Const(x)), labels)
+		tp.Backward(loss)
+	}
+}
+
+func BenchmarkSNNBPTTStepSerial(b *testing.B)   { benchSNNBPTTStep(b, compute.NewSerial()) }
+func BenchmarkSNNBPTTStepParallel(b *testing.B) { benchSNNBPTTStep(b, compute.NewParallel(0)) }
+
+// TestWriteComputeBenchJSON regenerates BENCH_compute.json, the tracked
+// record of the serial-vs-parallel kernel timings. It only runs when
+// SNNSEC_WRITE_BENCH is set:
+//
+//	SNNSEC_WRITE_BENCH=1 go test -run TestWriteComputeBenchJSON
+func TestWriteComputeBenchJSON(t *testing.T) {
+	if os.Getenv("SNNSEC_WRITE_BENCH") == "" {
+		t.Skip("set SNNSEC_WRITE_BENCH=1 to rewrite BENCH_compute.json")
+	}
+	type entry struct {
+		Name         string  `json:"name"`
+		SerialNsOp   int64   `json:"serial_ns_op"`
+		ParallelNsOp int64   `json:"parallel_ns_op"`
+		Speedup      float64 `json:"speedup"`
+	}
+	pairs := []struct {
+		name string
+		fn   func(*testing.B, compute.Backend)
+	}{
+		{"MatMul256", benchMatMul256},
+		{"ConvForwardBatch32", benchConvForwardBatch32},
+		{"SNNBPTTStep", benchSNNBPTTStep},
+	}
+	doc := struct {
+		NumCPU     int     `json:"numcpu"`
+		Note       string  `json:"note"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		NumCPU: runtime.NumCPU(),
+		Note:   "serial vs parallel compute backend; speedup = serial/parallel, meaningful only when numcpu > 1",
+	}
+	for _, p := range pairs {
+		ser := testing.Benchmark(func(b *testing.B) { p.fn(b, compute.NewSerial()) })
+		par := testing.Benchmark(func(b *testing.B) { p.fn(b, compute.NewParallel(0)) })
+		doc.Benchmarks = append(doc.Benchmarks, entry{
+			Name:         p.name,
+			SerialNsOp:   ser.NsPerOp(),
+			ParallelNsOp: par.NsPerOp(),
+			Speedup:      float64(ser.NsPerOp()) / float64(par.NsPerOp()),
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_compute.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -13,9 +13,11 @@
 //	snnsec analyze         activity / gradient-masking diagnostics vs Vth
 //	snnsec version         print the library version
 //
-// Every subcommand accepts -h for its flags. The global environment
-// variables SNNSEC_SCALE=paper and SNNSEC_MNIST_DIR=<dir> switch to the
-// paper-scale preset and to real MNIST data.
+// Every subcommand accepts -h for its flags. The global -workers flag
+// (before the subcommand) bounds the compute backend's kernel
+// parallelism. The global environment variables SNNSEC_SCALE=paper and
+// SNNSEC_MNIST_DIR=<dir> switch to the paper-scale preset and to real
+// MNIST data.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	snnsec "snnsec"
 	"snnsec/internal/analysis"
 	"snnsec/internal/attack"
+	"snnsec/internal/compute"
 	"snnsec/internal/core"
 	"snnsec/internal/modelio"
 	"snnsec/internal/nn"
@@ -43,6 +46,22 @@ func main() {
 }
 
 func run(args []string) error {
+	// Global flags come before the subcommand: snnsec -workers 4 grid ...
+	global := flag.NewFlagSet("snnsec", flag.ContinueOnError)
+	global.Usage = usage
+	workers := global.Int("workers", 0,
+		"compute-backend width for tensor kernels: 1 forces the serial backend, 0 uses all CPUs; "+
+			"subcommands that parallelise across grid points split this budget so grid workers × kernel width ≤ the value given")
+	if err := global.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if *workers > 0 {
+		compute.SetDefault(compute.New(*workers))
+	}
+	args = global.Args()
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -86,6 +105,14 @@ subcommands:
   info     inspect a checkpoint
   analyze  spike-activity and gradient-masking diagnostics vs Vth
   version  print version
+
+global flags (before the subcommand):
+  -workers n   CPU budget for the tensor kernels: 1 selects the serial
+               backend, 0 (default) uses every CPU. Grid sweeps (grid,
+               fig9 -auto) split the same budget — one worker per
+               (Vth, T) point and a kernel backend of width
+               budget/gridworkers each — so grid-level × kernel-level
+               parallelism never exceeds the budget.
 
 environment:
   SNNSEC_SCALE=paper     use the paper-scale preset (slow)

@@ -15,6 +15,7 @@
 //
 // Layout:
 //
+//	internal/compute   execution backends: serial/parallel kernels, buffer pool
 //	internal/tensor    dense float64 tensor kernels
 //	internal/autodiff  tape-based reverse-mode automatic differentiation
 //	internal/nn        non-spiking layers (Conv2D, Linear, pooling, ...)
@@ -28,6 +29,14 @@
 //	internal/core      experiment presets mirroring the paper's setup
 //	cmd/snnsec         command-line interface
 //	examples/          runnable example programs
+//
+// Every tensor kernel executes through a compute.Backend (selected
+// per-tape, with a process-wide default): Serial runs inline, Parallel
+// partitions kernels over a shared NumCPU-wide worker pool and recycles
+// scratch buffers through a sync.Pool. The two backends are
+// bit-identical by construction, and bounded-width backends let
+// kernel-level parallelism compose with the grid-level parallelism of
+// internal/explore without oversubscription.
 //
 // The benchmark harness in bench_test.go regenerates every figure of the
 // paper's evaluation (Figures 1, 6, 7, 8 and 9) at a CPU-friendly scale;

@@ -1,0 +1,3 @@
+module snnsec
+
+go 1.24

@@ -18,6 +18,7 @@ import (
 	"math/rand/v2"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/dataset"
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
@@ -44,9 +45,17 @@ func DatasetBounds(d *dataset.Dataset) Bounds {
 }
 
 // InputGradient returns dLoss/dx of the mean cross-entropy at (x, y) —
-// the core white-box primitive shared by FGSM and PGD.
+// the core white-box primitive shared by FGSM and PGD — on the default
+// backend.
 func InputGradient(model nn.Classifier, x *tensor.Tensor, y []int) *tensor.Tensor {
-	tp := autodiff.NewTape()
+	return InputGradientOn(nil, model, x, y)
+}
+
+// InputGradientOn is InputGradient on an explicit compute backend (nil
+// selects the default): the forward pass and the BPTT backward pass both
+// execute on be.
+func InputGradientOn(be compute.Backend, model nn.Classifier, x *tensor.Tensor, y []int) *tensor.Tensor {
+	tp := autodiff.NewTapeOn(be)
 	xv := tp.Var(x)
 	loss := tp.SoftmaxCrossEntropy(model.Logits(tp, xv), y)
 	tp.Backward(loss)
@@ -57,13 +66,16 @@ func InputGradient(model nn.Classifier, x *tensor.Tensor, y []int) *tensor.Tenso
 type FGSM struct {
 	Eps    float64
 	Bounds Bounds
+	// Backend selects the compute backend for the gradient computation;
+	// nil uses the default.
+	Backend compute.Backend
 }
 
 // Perturb returns clip(x + ε·sign(∇ₓL)).
 func (a FGSM) Perturb(model nn.Classifier, x *tensor.Tensor, y []int) *tensor.Tensor {
-	g := InputGradient(model, x, y)
+	g := InputGradientOn(a.Backend, model, x, y)
 	adv := x.Clone()
-	tensor.Axpy(a.Eps, tensor.Sign(g), adv)
+	tensor.Axpy(a.Eps, tensor.SignOn(a.Backend, g), adv)
 	tensor.ClampInto(adv, a.Bounds.Lo, a.Bounds.Hi)
 	return adv
 }
@@ -86,6 +98,9 @@ type PGD struct {
 	RandomStart bool
 	Rand        *rand.Rand
 	Bounds      Bounds
+	// Backend selects the compute backend for the per-step gradient
+	// computations; nil uses the default.
+	Backend compute.Backend
 }
 
 // Name returns "pgd(ε,steps)".
@@ -115,12 +130,12 @@ func (a PGD) Perturb(model nn.Classifier, x *tensor.Tensor, y []int) *tensor.Ten
 			panic("attack: PGD RandomStart requires a generator")
 		}
 		noise := tensor.RandU(a.Rand, -a.Eps, a.Eps, x.Shape()...)
-		tensor.AddInto(adv, noise)
+		tensor.AddIntoOn(a.Backend, adv, noise)
 		a.project(adv, x)
 	}
 	for i := 0; i < steps; i++ {
-		g := InputGradient(model, adv, y)
-		tensor.Axpy(alpha, tensor.Sign(g), adv)
+		g := InputGradientOn(a.Backend, model, adv, y)
+		tensor.Axpy(alpha, tensor.SignOn(a.Backend, g), adv)
 		a.project(adv, x)
 	}
 	return adv

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/dataset"
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
@@ -34,15 +35,23 @@ func (e Evaluation) String() string {
 		e.AttackName, e.CleanAccuracy, e.RobustAccuracy, e.SuccessRate, e.MeanLinf, e.N)
 }
 
-// Evaluate runs the attack over the dataset in batches and scores it.
+// Evaluate runs the attack over the dataset in batches and scores it on
+// the default backend.
 func Evaluate(model nn.Classifier, ds *dataset.Dataset, atk Attack, batchSize int) Evaluation {
+	return EvaluateOn(nil, model, ds, atk, batchSize)
+}
+
+// EvaluateOn is Evaluate with the clean and adversarial forward passes on
+// an explicit compute backend (nil selects the default). The attack's own
+// gradient computations use the backend it was configured with.
+func EvaluateOn(be compute.Backend, model nn.Classifier, ds *dataset.Dataset, atk Attack, batchSize int) Evaluation {
 	ev := Evaluation{AttackName: atk.Name()}
 	cleanCorrect, robustCorrect, flipped, attackable := 0, 0, 0, 0
 	var linfSum float64
 	for _, b := range ds.Batches(batchSize) {
-		cleanPred := predict(model, b.X)
+		cleanPred := predict(be, model, b.X)
 		adv := atk.Perturb(model, b.X, b.Y)
-		advPred := predict(model, adv)
+		advPred := predict(be, model, adv)
 		linfSum += batchLinf(b.X, adv) * float64(len(b.Y))
 		for i, y := range b.Y {
 			cleanOK := cleanPred[i] == y
@@ -80,6 +89,12 @@ type CurvePoint struct {
 // clean accuracy). This regenerates the accuracy-vs-ε plots of the
 // paper's Figures 1 and 9.
 func Curve(model nn.Classifier, ds *dataset.Dataset, epsilons []float64, mkAttack func(eps float64) Attack, batchSize int) []CurvePoint {
+	return CurveOn(nil, model, ds, epsilons, mkAttack, batchSize)
+}
+
+// CurveOn is Curve on an explicit compute backend (nil selects the
+// default).
+func CurveOn(be compute.Backend, model nn.Classifier, ds *dataset.Dataset, epsilons []float64, mkAttack func(eps float64) Attack, batchSize int) []CurvePoint {
 	out := make([]CurvePoint, 0, len(epsilons))
 	for _, eps := range epsilons {
 		var atk Attack
@@ -88,15 +103,15 @@ func Curve(model nn.Classifier, ds *dataset.Dataset, epsilons []float64, mkAttac
 		} else {
 			atk = mkAttack(eps)
 		}
-		ev := Evaluate(model, ds, atk, batchSize)
+		ev := EvaluateOn(be, model, ds, atk, batchSize)
 		out = append(out, CurvePoint{Eps: eps, RobustAccuracy: ev.RobustAccuracy})
 	}
 	return out
 }
 
-func predict(model nn.Classifier, x *tensor.Tensor) []int {
-	tp := autodiff.NewTape()
-	return tensor.ArgmaxRows(model.Logits(tp, tp.Const(x)).Data)
+func predict(be compute.Backend, model nn.Classifier, x *tensor.Tensor) []int {
+	tp := autodiff.NewTapeOn(be)
+	return tensor.ArgmaxRowsOn(tp.Backend(), model.Logits(tp, tp.Const(x)).Data)
 }
 
 func batchLinf(a, b *tensor.Tensor) float64 {

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
 )
@@ -28,6 +29,9 @@ type TargetedPGD struct {
 	Target int
 	Rand   *rand.Rand
 	Bounds Bounds
+	// Backend selects the compute backend for the per-step gradient
+	// computations; nil uses the default.
+	Backend compute.Backend
 }
 
 // Name returns "targeted_pgd(ε,target)".
@@ -52,13 +56,13 @@ func (a TargetedPGD) Perturb(model nn.Classifier, x *tensor.Tensor, y []int) *te
 	}
 	adv := x.Clone()
 	if a.Rand != nil {
-		tensor.AddInto(adv, tensor.RandU(a.Rand, -a.Eps, a.Eps, x.Shape()...))
+		tensor.AddIntoOn(a.Backend, adv, tensor.RandU(a.Rand, -a.Eps, a.Eps, x.Shape()...))
 		projectLinf(adv, x, a.Eps, a.Bounds)
 	}
 	for i := 0; i < steps; i++ {
-		g := InputGradient(model, adv, targets)
+		g := InputGradientOn(a.Backend, model, adv, targets)
 		// Descend: reduce the loss w.r.t. the target class.
-		tensor.Axpy(-alpha, tensor.Sign(g), adv)
+		tensor.Axpy(-alpha, tensor.SignOn(a.Backend, g), adv)
 		projectLinf(adv, x, a.Eps, a.Bounds)
 	}
 	return adv
@@ -67,8 +71,8 @@ func (a TargetedPGD) Perturb(model nn.Classifier, x *tensor.Tensor, y []int) *te
 // Success counts how many adversarial examples are classified AS the
 // target (targeted success is stricter than untargeted).
 func (a TargetedPGD) Success(model nn.Classifier, adv *tensor.Tensor) int {
-	tp := autodiff.NewTape()
-	preds := tensor.ArgmaxRows(model.Logits(tp, tp.Const(adv)).Data)
+	tp := autodiff.NewTapeOn(a.Backend)
+	preds := tensor.ArgmaxRowsOn(tp.Backend(), model.Logits(tp, tp.Const(adv)).Data)
 	n := 0
 	for _, p := range preds {
 		if p == a.Target {
@@ -87,6 +91,9 @@ type L2PGD struct {
 	Steps  int
 	Rand   *rand.Rand
 	Bounds Bounds
+	// Backend selects the compute backend for the per-step gradient
+	// computations; nil uses the default.
+	Backend compute.Backend
 }
 
 // Name returns "l2pgd(ε,steps)".
@@ -116,7 +123,7 @@ func (a L2PGD) Perturb(model nn.Classifier, x *tensor.Tensor, y []int) *tensor.T
 		a.project(adv, x)
 	}
 	for i := 0; i < steps; i++ {
-		g := InputGradient(model, adv, y)
+		g := InputGradientOn(a.Backend, model, adv, y)
 		n := tensor.Norm2(g)
 		if n == 0 {
 			break // fully masked gradient: no direction to follow

@@ -21,12 +21,17 @@ package autodiff
 import (
 	"fmt"
 
+	"snnsec/internal/compute"
 	"snnsec/internal/tensor"
 )
 
-// Tape records operations for reverse-mode differentiation.
+// Tape records operations for reverse-mode differentiation. A tape is
+// bound to a compute backend: every kernel recorded through it — forward
+// and pullback — executes on that backend, which is how backend selection
+// threads through nn, snn and train without touching their call sites.
 type Tape struct {
 	nodes []*Value
+	be    compute.Backend
 }
 
 // Value is a node in the computation graph: a tensor plus the bookkeeping
@@ -44,8 +49,20 @@ type Value struct {
 	tape         *Tape
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape bound to the default compute backend.
 func NewTape() *Tape { return &Tape{} }
+
+// NewTapeOn returns an empty tape bound to be; nil selects the default
+// backend at execution time.
+func NewTapeOn(be compute.Backend) *Tape { return &Tape{be: be} }
+
+// Backend returns the backend the tape's operations execute on.
+func (tp *Tape) Backend() compute.Backend {
+	if tp.be == nil {
+		return compute.Default()
+	}
+	return tp.be
+}
 
 // Len returns the number of recorded nodes (useful for memory accounting
 // in benchmarks).
@@ -102,7 +119,7 @@ func (v *Value) AccumGrad(g *tensor.Tensor) {
 	if !v.requiresGrad {
 		return
 	}
-	tensor.AddInto(v.ensureGrad(), g)
+	tensor.AddIntoOn(v.tape.Backend(), v.ensureGrad(), g)
 }
 
 // NewOp records a custom operation producing out from parents, with back
@@ -163,7 +180,7 @@ func (tp *Tape) BackwardWithSeed(root *Value, seed *tensor.Tensor) {
 	if !root.requiresGrad {
 		return
 	}
-	tensor.AddInto(root.ensureGrad(), seed)
+	tensor.AddIntoOn(tp.Backend(), root.ensureGrad(), seed)
 	for i := len(tp.nodes) - 1; i >= 0; i-- {
 		n := tp.nodes[i]
 		if n.back != nil && n.Grad != nil {

@@ -9,7 +9,7 @@ import (
 
 // Add returns a + b elementwise.
 func (tp *Tape) Add(a, b *Value) *Value {
-	out := tensor.Add(a.Data, b.Data)
+	out := tensor.AddOn(tp.Backend(), a.Data, b.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		a.AccumGrad(g)
 		b.AccumGrad(g)
@@ -18,33 +18,33 @@ func (tp *Tape) Add(a, b *Value) *Value {
 
 // Sub returns a - b elementwise.
 func (tp *Tape) Sub(a, b *Value) *Value {
-	out := tensor.Sub(a.Data, b.Data)
+	out := tensor.SubOn(tp.Backend(), a.Data, b.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		a.AccumGrad(g)
-		b.AccumGrad(tensor.Neg(g))
+		b.AccumGrad(tensor.NegOn(tp.Backend(), g))
 	}, a, b)
 }
 
 // Mul returns the elementwise product a * b.
 func (tp *Tape) Mul(a, b *Value) *Value {
-	out := tensor.Mul(a.Data, b.Data)
+	out := tensor.MulOn(tp.Backend(), a.Data, b.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
-		a.AccumGrad(tensor.Mul(g, b.Data))
-		b.AccumGrad(tensor.Mul(g, a.Data))
+		a.AccumGrad(tensor.MulOn(tp.Backend(), g, b.Data))
+		b.AccumGrad(tensor.MulOn(tp.Backend(), g, a.Data))
 	}, a, b)
 }
 
 // Scale returns a * s for scalar s.
 func (tp *Tape) Scale(a *Value, s float64) *Value {
-	out := tensor.Scale(a.Data, s)
+	out := tensor.ScaleOn(tp.Backend(), a.Data, s)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
-		a.AccumGrad(tensor.Scale(g, s))
+		a.AccumGrad(tensor.ScaleOn(tp.Backend(), g, s))
 	}, a)
 }
 
 // AddScalar returns a + s elementwise for scalar s.
 func (tp *Tape) AddScalar(a *Value, s float64) *Value {
-	out := tensor.AddScalar(a.Data, s)
+	out := tensor.AddScalarOn(tp.Backend(), a.Data, s)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		a.AccumGrad(g)
 	}, a)
@@ -52,20 +52,20 @@ func (tp *Tape) AddScalar(a *Value, s float64) *Value {
 
 // MatMul returns the matrix product a·b of 2-D values.
 func (tp *Tape) MatMul(a, b *Value) *Value {
-	out := tensor.MatMul(a.Data, b.Data)
+	out := tensor.MatMulOn(tp.Backend(), a.Data, b.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		// dA = g·Bᵀ, dB = Aᵀ·g
-		a.AccumGrad(tensor.MatMulABT(g, b.Data))
-		b.AccumGrad(tensor.MatMulATB(a.Data, g))
+		a.AccumGrad(tensor.MatMulABTOn(tp.Backend(), g, b.Data))
+		b.AccumGrad(tensor.MatMulATBOn(tp.Backend(), a.Data, g))
 	}, a, b)
 }
 
 // AddRowVector returns the 2-D value a with 1-D bias v added to each row.
 func (tp *Tape) AddRowVector(a, v *Value) *Value {
-	out := tensor.AddRowVector(a.Data, v.Data)
+	out := tensor.AddRowVectorOn(tp.Backend(), a.Data, v.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		a.AccumGrad(g)
-		v.AccumGrad(tensor.SumRows(g))
+		v.AccumGrad(tensor.SumRowsOn(tp.Backend(), g))
 	}, a, v)
 }
 
@@ -81,41 +81,47 @@ func (tp *Tape) Reshape(a *Value, shape ...int) *Value {
 
 // ReLU returns max(a, 0) elementwise.
 func (tp *Tape) ReLU(a *Value) *Value {
-	out := tensor.ReLU(a.Data)
+	out := tensor.ReLUOn(tp.Backend(), a.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		da := tensor.New(g.Shape()...)
 		ad, gd, dd := a.Data.Data(), g.Data(), da.Data()
-		for i := range dd {
-			if ad[i] > 0 {
-				dd[i] = gd[i]
+		tp.Backend().ParallelFor(len(dd), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if ad[i] > 0 {
+					dd[i] = gd[i]
+				}
 			}
-		}
+		})
 		a.AccumGrad(da)
 	}, a)
 }
 
 // Sigmoid returns the logistic function of a elementwise.
 func (tp *Tape) Sigmoid(a *Value) *Value {
-	out := tensor.Sigmoid(a.Data)
+	out := tensor.SigmoidOn(tp.Backend(), a.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		da := tensor.New(g.Shape()...)
 		od, gd, dd := out.Data(), g.Data(), da.Data()
-		for i := range dd {
-			dd[i] = gd[i] * od[i] * (1 - od[i])
-		}
+		tp.Backend().ParallelFor(len(dd), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dd[i] = gd[i] * od[i] * (1 - od[i])
+			}
+		})
 		a.AccumGrad(da)
 	}, a)
 }
 
 // Tanh returns tanh(a) elementwise.
 func (tp *Tape) Tanh(a *Value) *Value {
-	out := tensor.Tanh(a.Data)
+	out := tensor.TanhOn(tp.Backend(), a.Data)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		da := tensor.New(g.Shape()...)
 		od, gd, dd := out.Data(), g.Data(), da.Data()
-		for i := range dd {
-			dd[i] = gd[i] * (1 - od[i]*od[i])
-		}
+		tp.Backend().ParallelFor(len(dd), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dd[i] = gd[i] * (1 - od[i]*od[i])
+			}
+		})
 		a.AccumGrad(da)
 	}, a)
 }
@@ -127,13 +133,13 @@ func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
 	if bias != nil {
 		bt = bias.Data
 	}
-	out := tensor.Conv2D(x.Data, weight.Data, bt, p)
+	out := tensor.Conv2DOn(tp.Backend(), x.Data, weight.Data, bt, p)
 	parents := []*Value{x, weight}
 	if bias != nil {
 		parents = append(parents, bias)
 	}
 	return tp.NewOp(out, func(g *tensor.Tensor) {
-		dx, dw, db := tensor.Conv2DBackward(x.Data, weight.Data, g, p, bias != nil)
+		dx, dw, db := tensor.Conv2DBackwardOn(tp.Backend(), x.Data, weight.Data, g, p, bias != nil)
 		x.AccumGrad(dx)
 		weight.AccumGrad(dw)
 		if bias != nil {
@@ -145,18 +151,18 @@ func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
 // AvgPool2D returns k×k average pooling of x [N,C,H,W].
 func (tp *Tape) AvgPool2D(x *Value, k int) *Value {
 	h, w := x.Data.Dim(2), x.Data.Dim(3)
-	out := tensor.AvgPool2D(x.Data, k)
+	out := tensor.AvgPool2DOn(tp.Backend(), x.Data, k)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
-		x.AccumGrad(tensor.AvgPool2DBackward(g, k, h, w))
+		x.AccumGrad(tensor.AvgPool2DBackwardOn(tp.Backend(), g, k, h, w))
 	}, x)
 }
 
 // MaxPool2D returns k×k max pooling of x [N,C,H,W].
 func (tp *Tape) MaxPool2D(x *Value, k int) *Value {
 	h, w := x.Data.Dim(2), x.Data.Dim(3)
-	out, arg := tensor.MaxPool2D(x.Data, k)
+	out, arg := tensor.MaxPool2DOn(tp.Backend(), x.Data, k)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
-		x.AccumGrad(tensor.MaxPool2DBackward(g, arg, k, h, w))
+		x.AccumGrad(tensor.MaxPool2DBackwardOn(tp.Backend(), g, arg, k, h, w))
 	}, x)
 }
 
@@ -188,7 +194,7 @@ func (tp *Tape) SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
 	if len(labels) != b {
 		panic(fmt.Sprintf("autodiff: %d labels for batch of %d", len(labels), b))
 	}
-	probs := tensor.SoftmaxRows(logits.Data)
+	probs := tensor.SoftmaxRowsOn(tp.Backend(), logits.Data)
 	var loss float64
 	for i, l := range labels {
 		if l < 0 || l >= c {

@@ -8,10 +8,10 @@ package explore
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"snnsec/internal/attack"
+	"snnsec/internal/compute"
 	"snnsec/internal/dataset"
 	"snnsec/internal/snn"
 	"snnsec/internal/tensor"
@@ -43,8 +43,17 @@ type Config struct {
 	AttackSteps int
 	// EvalBatch is the evaluation batch size (default 32).
 	EvalBatch int
-	// Workers bounds the parallel grid points (default NumCPU).
+	// Workers bounds the parallel grid points. The default is the CPU
+	// budget: the width of the process-default compute backend (NumCPU
+	// unless overridden, e.g. by the CLI's -workers flag).
 	Workers int
+	// KernelWorkers is the compute-backend width handed to each grid
+	// worker: the tensor kernels under one grid point run on a backend of
+	// this width, so total parallelism is Workers × KernelWorkers. The
+	// default, max(1, budget/Workers) with budget as above, keeps that
+	// product within the CPU budget — grid-level and kernel-level
+	// parallelism compose without oversubscribing the machine.
+	KernelWorkers int
 	// Build constructs the network for a grid point.
 	Build BuildSNN
 	// Seed derives per-point attack generators.
@@ -76,11 +85,30 @@ func (c *Config) validate() error {
 	if c.EvalBatch <= 0 {
 		c.EvalBatch = 32
 	}
+	// The sweep's CPU budget is the default backend's width, so a global
+	// override (the CLI's -workers flag) bounds grid-level and
+	// kernel-level parallelism together. Workers is clamped to the grid
+	// size: a 2×2 grid on a 16-CPU budget gets 4 workers with width-4
+	// kernel backends rather than 16 workers of which 12 would idle.
+	budget := compute.Default().Workers()
 	if c.Workers <= 0 {
-		c.Workers = runtime.NumCPU()
+		c.Workers = budget
+	}
+	if points := len(c.Vths) * len(c.Ts); c.Workers > points {
+		c.Workers = points
+	}
+	if c.KernelWorkers <= 0 {
+		c.KernelWorkers = budget / c.Workers
+		if c.KernelWorkers < 1 {
+			c.KernelWorkers = 1
+		}
 	}
 	return nil
 }
+
+// backend returns the bounded-width compute backend each grid worker
+// executes its kernels on.
+func (c *Config) backend() compute.Backend { return compute.New(c.KernelWorkers) }
 
 // Point is the outcome at one (Vth, T) grid position.
 type Point struct {
@@ -181,9 +209,9 @@ func TrainGrid(cfg Config, trainDS, testDS *dataset.Dataset) (*Sweep, error) {
 		Config: cfg,
 		Points: make([]TrainedPoint, len(cfg.Vths)*len(cfg.Ts)),
 	}
-	forEachPoint(cfg, func(vi, ti int) {
+	forEachPoint(cfg, func(vi, ti int, be compute.Backend) {
 		idx := ti*len(cfg.Vths) + vi
-		sw.Points[idx] = trainPoint(cfg, cfg.Vths[vi], cfg.Ts[ti], uint64(idx), trainDS, testDS)
+		sw.Points[idx] = trainPoint(cfg, be, cfg.Vths[vi], cfg.Ts[ti], uint64(idx), trainDS, testDS)
 	})
 	return sw, nil
 }
@@ -200,7 +228,7 @@ func (s *Sweep) AttackAll(testDS *dataset.Dataset, epsilons []float64) *Result {
 		Points:   make([]Point, len(s.Points)),
 	}
 	bounds := attack.DatasetBounds(testDS)
-	forEachPoint(cfg, func(vi, ti int) {
+	forEachPoint(cfg, func(vi, ti int, be compute.Backend) {
 		idx := ti*len(cfg.Vths) + vi
 		tp := &s.Points[idx]
 		pt := Point{
@@ -211,13 +239,14 @@ func (s *Sweep) AttackAll(testDS *dataset.Dataset, epsilons []float64) *Result {
 			Err:           tp.Err,
 		}
 		if tp.Learnable && tp.Err == nil {
-			pt.Robustness = attack.Curve(tp.Net, testDS, epsilons, func(eps float64) attack.Attack {
+			pt.Robustness = attack.CurveOn(be, tp.Net, testDS, epsilons, func(eps float64) attack.Attack {
 				return attack.PGD{
 					Eps:         eps,
 					Steps:       cfg.AttackSteps,
 					RandomStart: true,
 					Rand:        tensor.NewRand(cfg.Seed+uint64(idx), 0xa77ac4),
 					Bounds:      bounds,
+					Backend:     be,
 				}
 			}, cfg.EvalBatch)
 		}
@@ -237,8 +266,9 @@ func Run(cfg Config, trainDS, testDS *dataset.Dataset) (*Result, error) {
 }
 
 // forEachPoint distributes the grid positions over cfg.Workers goroutines
-// and waits for completion.
-func forEachPoint(cfg Config, f func(vi, ti int)) {
+// and waits for completion. Each worker receives a compute backend of
+// width cfg.KernelWorkers for the tensor kernels under its grid points.
+func forEachPoint(cfg Config, f func(vi, ti int, be compute.Backend)) {
 	type job struct{ vi, ti int }
 	jobs := make(chan job)
 	var wg sync.WaitGroup
@@ -246,8 +276,9 @@ func forEachPoint(cfg Config, f func(vi, ti int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			be := cfg.backend()
 			for j := range jobs {
-				f(j.vi, j.ti)
+				f(j.vi, j.ti, be)
 			}
 		}()
 	}
@@ -260,8 +291,9 @@ func forEachPoint(cfg Config, f func(vi, ti int)) {
 	wg.Wait()
 }
 
-// trainPoint runs lines 3-4 of Algorithm 1 for a single (Vth, T).
-func trainPoint(cfg Config, vth float64, T int, idx uint64, trainDS, testDS *dataset.Dataset) TrainedPoint {
+// trainPoint runs lines 3-4 of Algorithm 1 for a single (Vth, T) on the
+// given compute backend.
+func trainPoint(cfg Config, be compute.Backend, vth float64, T int, idx uint64, trainDS, testDS *dataset.Dataset) TrainedPoint {
 	pt := TrainedPoint{Vth: vth, T: T}
 	net, err := cfg.Build(vth, T)
 	if err != nil {
@@ -272,6 +304,7 @@ func trainPoint(cfg Config, vth float64, T int, idx uint64, trainDS, testDS *dat
 	// may shuffle, and the dataset is shared across goroutines.
 	localTrain := trainDS.Subset(0, trainDS.Len())
 	tcfg := cfg.Train
+	tcfg.Backend = be
 	if cfg.NewOptimizer != nil {
 		tcfg.Optimizer = cfg.NewOptimizer()
 	}
@@ -284,7 +317,7 @@ func trainPoint(cfg Config, vth float64, T int, idx uint64, trainDS, testDS *dat
 		return pt
 	}
 	pt.Net = net
-	pt.CleanAccuracy = train.Evaluate(net, testDS, cfg.EvalBatch)
+	pt.CleanAccuracy = train.EvaluateOn(be, net, testDS, cfg.EvalBatch)
 	pt.Learnable = pt.CleanAccuracy >= cfg.AccuracyThreshold
 	return pt
 }

@@ -4,6 +4,11 @@
 // they form the LeNet-5 CNN baseline the paper compares against, and they
 // provide the synaptic (weight) transformations inside the spiking layers
 // of internal/snn.
+//
+// Layers are backend-agnostic: every kernel a layer records runs on the
+// compute backend its tape is bound to (autodiff.NewTapeOn), so callers
+// select serial or parallel execution per forward/backward pass without
+// any layer-level configuration.
 package nn
 
 import (

@@ -71,8 +71,12 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 		panic(fmt.Sprintf("snn: ALIFStep shape mismatch current %v vs state %v/%v",
 			current.Data.Shape(), st.V.Data.Shape(), st.ThExcess.Shape()))
 	}
+	if cfg.Reset != ResetZero && cfg.Reset != ResetSubtract {
+		panic(fmt.Sprintf("snn: unknown reset mode %v", cfg.Reset))
+	}
 	n := current.Data.Len()
 	shape := current.Data.Shape()
+	be := tp.Backend()
 
 	pre := make([]float64, n)
 	spk := make([]float64, n)
@@ -80,26 +84,25 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	surr := make([]float64, n)
 	newExcess := tensor.New(shape...)
 	cv, mv, ex, ne := current.Data.Data(), st.V.Data.Data(), st.ThExcess.Data(), newExcess.Data()
-	for i := 0; i < n; i++ {
-		p := cfg.Alpha*mv[i] + cv[i]
-		pre[i] = p
-		th := cfg.Vth + ex[i]
-		var s float64
-		if p > th {
-			s = 1
+	be.ParallelFor(n, 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := cfg.Alpha*mv[i] + cv[i]
+			pre[i] = p
+			th := cfg.Vth + ex[i]
+			var s float64
+			if p > th {
+				s = 1
+			}
+			spk[i] = s
+			surr[i] = cfg.Surrogate.Grad(p - th)
+			if cfg.Reset == ResetZero {
+				vout[i] = p * (1 - s)
+			} else {
+				vout[i] = p - th*s
+			}
+			ne[i] = ex[i]*cfg.AdaptDecay + cfg.AdaptStep*s
 		}
-		spk[i] = s
-		surr[i] = cfg.Surrogate.Grad(p - th)
-		switch cfg.Reset {
-		case ResetZero:
-			vout[i] = p * (1 - s)
-		case ResetSubtract:
-			vout[i] = p - th*s
-		default:
-			panic(fmt.Sprintf("snn: unknown reset mode %v", cfg.Reset))
-		}
-		ne[i] = ex[i]*cfg.AdaptDecay + cfg.AdaptStep*s
-	}
+	})
 
 	spikeT := tensor.FromSlice(spk, shape...)
 	membrane := st.V
@@ -107,10 +110,12 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 		gd := g.Data()
 		dI := make([]float64, n)
 		dV := make([]float64, n)
-		for i := range dI {
-			dI[i] = gd[i] * surr[i]
-			dV[i] = dI[i] * cfg.Alpha
-		}
+		be.ParallelFor(n, 2048, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dI[i] = gd[i] * surr[i]
+				dV[i] = dI[i] * cfg.Alpha
+			}
+		})
 		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
 	}, current, membrane)
@@ -119,19 +124,21 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	vNode := tp.NewOp(vT, func(g *tensor.Tensor) {
 		gd := g.Data()
 		dI := make([]float64, n)
-		switch cfg.Reset {
-		case ResetZero:
-			for i := range dI {
-				dI[i] = gd[i] * (1 - spk[i])
-			}
-		case ResetSubtract:
-			copy(dI, gd)
-		}
-		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		dV := make([]float64, n)
-		for i := range dV {
-			dV[i] = dI[i] * cfg.Alpha
-		}
+		be.ParallelFor(n, 2048, func(lo, hi int) {
+			if cfg.Reset == ResetZero {
+				for i := lo; i < hi; i++ {
+					dI[i] = gd[i] * (1 - spk[i])
+					dV[i] = dI[i] * cfg.Alpha
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					dI[i] = gd[i]
+					dV[i] = gd[i] * cfg.Alpha
+				}
+			}
+		})
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
 	}, current, membrane)
 

@@ -90,47 +90,54 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 	if !current.Data.SameShape(membrane.Data) {
 		panic(fmt.Sprintf("snn: LIFStep current %v vs membrane %v shape mismatch", current.Data.Shape(), membrane.Data.Shape()))
 	}
+	if cfg.Reset != ResetZero && cfg.Reset != ResetSubtract {
+		panic(fmt.Sprintf("snn: unknown reset mode %v", cfg.Reset))
+	}
 	n := current.Data.Len()
 	shape := current.Data.Shape()
+	be := tp.Backend()
 
+	// The per-neuron state update is embarrassingly parallel, and for a
+	// convolutional population n is N·C·H·W — large enough that the BPTT
+	// hot loop is worth running on the backend.
+	const lifGrain = 2048
 	pre := make([]float64, n)  // pre-reset membrane α·v + I
 	spk := make([]float64, n)  // binary spikes
 	vout := make([]float64, n) // post-reset membrane
 	surr := make([]float64, n) // surrogate dH/dpre
 	cv := current.Data.Data()
 	mv := membrane.Data.Data()
-	for i := 0; i < n; i++ {
-		p := cfg.Alpha*mv[i] + cv[i]
-		pre[i] = p
-		var s float64
-		if p > cfg.Vth {
-			s = 1
+	be.ParallelFor(n, lifGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := cfg.Alpha*mv[i] + cv[i]
+			pre[i] = p
+			var s float64
+			if p > cfg.Vth {
+				s = 1
+			}
+			spk[i] = s
+			surr[i] = cfg.Surrogate.Grad(p - cfg.Vth)
+			if cfg.Reset == ResetZero {
+				vout[i] = p * (1 - s)
+			} else {
+				vout[i] = p - cfg.Vth*s
+			}
 		}
-		spk[i] = s
-		surr[i] = cfg.Surrogate.Grad(p - cfg.Vth)
-		switch cfg.Reset {
-		case ResetZero:
-			vout[i] = p * (1 - s)
-		case ResetSubtract:
-			vout[i] = p - cfg.Vth*s
-		default:
-			panic(fmt.Sprintf("snn: unknown reset mode %v", cfg.Reset))
-		}
-	}
+	})
 
 	spikeT := tensor.FromSlice(spk, shape...)
 	spikes = tp.NewOp(spikeT, func(g *tensor.Tensor) {
 		// ds/dpre = surrogate; dpre/dI = 1; dpre/dv_prev = α.
 		gd := g.Data()
 		dI := make([]float64, n)
-		for i := range dI {
-			dI[i] = gd[i] * surr[i]
-		}
-		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		dV := make([]float64, n)
-		for i := range dV {
-			dV[i] = gd[i] * surr[i] * cfg.Alpha
-		}
+		be.ParallelFor(n, lifGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dI[i] = gd[i] * surr[i]
+				dV[i] = gd[i] * surr[i] * cfg.Alpha
+			}
+		})
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
 	}, current, membrane)
 
@@ -141,19 +148,21 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 		//   ResetSubtract: 1
 		gd := g.Data()
 		dI := make([]float64, n)
-		switch cfg.Reset {
-		case ResetZero:
-			for i := range dI {
-				dI[i] = gd[i] * (1 - spk[i])
-			}
-		case ResetSubtract:
-			copy(dI, gd)
-		}
-		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		dV := make([]float64, n)
-		for i := range dV {
-			dV[i] = dI[i] * cfg.Alpha
-		}
+		be.ParallelFor(n, lifGrain, func(lo, hi int) {
+			if cfg.Reset == ResetZero {
+				for i := lo; i < hi; i++ {
+					dI[i] = gd[i] * (1 - spk[i])
+					dV[i] = dI[i] * cfg.Alpha
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					dI[i] = gd[i]
+					dV[i] = gd[i] * cfg.Alpha
+				}
+			}
+		})
+		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
 	}, current, membrane)
 

@@ -22,7 +22,9 @@ import (
 )
 
 // Surrogate is a smoothed derivative of the Heaviside spike function,
-// evaluated at the distance u = v − Vth from the threshold.
+// evaluated at the distance u = v − Vth from the threshold. Grad must be
+// safe for concurrent calls: the LIF kernels evaluate it from parallel
+// backend workers.
 type Surrogate interface {
 	// Grad returns dH/dv at membrane distance u = v − Vth.
 	Grad(u float64) float64

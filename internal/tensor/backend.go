@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"math"
+
+	"snnsec/internal/compute"
+)
+
+// Every kernel in this package executes through a compute.Backend: the
+// exported legacy names (MatMul, Conv2D, ...) run on compute.Default(),
+// and each has an ...On variant taking an explicit backend. Kernels use a
+// fixed, partition-independent computation order — parallel blocks write
+// disjoint outputs and accumulate in the same per-element order as the
+// serial path — so Serial and Parallel backends produce bit-identical
+// results (asserted by equivalence_test.go).
+
+// Grain constants: the minimum amount of per-block work worth dispatching
+// to a worker, expressed in loop iterations at each call site.
+const (
+	// elemGrain is the minimum elements per block for memory-bound
+	// elementwise loops.
+	elemGrain = 4096
+	// opsGrain is the minimum floating-point operations per block for
+	// compute-bound kernels (matmul, conv).
+	opsGrain = 1 << 15
+)
+
+// grainRows converts a per-row operation count into a row grain so each
+// parallel block carries at least opsGrain operations.
+func grainRows(opsPerRow int) int {
+	if opsPerRow <= 0 {
+		return 1
+	}
+	g := opsGrain / opsPerRow
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// allFinite reports whether s contains no NaN or infinity. The matmul
+// kernels use it to gate their zero-skip branch: skipping a zero row of a
+// is only sound when b is finite everywhere, because 0·NaN and 0·±Inf
+// must propagate NaN into the product.
+func allFinite(s []float64) bool {
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// backendOr returns be, or the process default when be is nil.
+func backendOr(be compute.Backend) compute.Backend {
+	if be == nil {
+		return compute.Default()
+	}
+	return be
+}

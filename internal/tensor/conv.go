@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"snnsec/internal/compute"
+)
 
 // ConvParams describes a 2-D convolution: kernel size, stride and symmetric
 // zero padding.
@@ -28,6 +32,11 @@ func (p ConvParams) validate() {
 // for convolution with kernel (kh, kw) under p. Out-of-bounds taps are
 // zero.
 func Im2Col(img *Tensor, kh, kw int, p ConvParams) *Tensor {
+	return Im2ColOn(nil, img, kh, kw, p)
+}
+
+// Im2ColOn is Im2Col on an explicit backend (nil selects the default).
+func Im2ColOn(be compute.Backend, img *Tensor, kh, kw int, p ConvParams) *Tensor {
 	p.validate()
 	if img.Dims() != 3 {
 		panic(fmt.Sprintf("tensor: Im2Col needs [C,H,W], got %v", img.shape))
@@ -38,70 +47,108 @@ func Im2Col(img *Tensor, kh, kw int, p ConvParams) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col non-positive output %dx%d for input %v kernel %dx%d", oh, ow, img.shape, kh, kw))
 	}
 	col := New(c*kh*kw, oh*ow)
-	for ci := 0; ci < c; ci++ {
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				r := (ci*kh+ki)*kw + kj
-				dst := col.data[r*oh*ow : (r+1)*oh*ow]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*p.Stride + ki - p.Padding
-					if iy < 0 || iy >= h {
-						continue
+	im2colInto(backendOr(be), col.data, img.data, c, h, w, kh, kw, p)
+	return col
+}
+
+// im2colInto expands img [c,h,w] into dst (len c*kh*kw*oh*ow), writing
+// every element (out-of-bounds taps become explicit zeros), so dst may be
+// a reused pooled buffer. Column-matrix rows are partitioned across
+// workers; each row is written by exactly one block.
+func im2colInto(be compute.Backend, dst, img []float64, c, h, w, kh, kw int, p ConvParams) {
+	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	rows := c * kh * kw
+	be.ParallelFor(rows, grainRows(oh*ow), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ci := r / (kh * kw)
+			ki := (r / kw) % kh
+			kj := r % kw
+			row := dst[r*oh*ow : (r+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*p.Stride + ki - p.Padding
+				seg := row[oy*ow : (oy+1)*ow]
+				if iy < 0 || iy >= h {
+					for ox := range seg {
+						seg[ox] = 0
 					}
-					srcRow := img.data[(ci*h+iy)*w : (ci*h+iy+1)*w]
-					base := oy * ow
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*p.Stride + kj - p.Padding
-						if ix >= 0 && ix < w {
-							dst[base+ox] = srcRow[ix]
-						}
+					continue
+				}
+				srcRow := img[(ci*h+iy)*w : (ci*h+iy+1)*w]
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*p.Stride + kj - p.Padding
+					if ix >= 0 && ix < w {
+						seg[ox] = srcRow[ix]
+					} else {
+						seg[ox] = 0
 					}
 				}
 			}
 		}
-	}
-	return col
+	})
 }
 
 // Col2Im scatters a column matrix [C*KH*KW, OH*OW] back into an image
 // gradient [C,H,W], accumulating overlapping taps. It is the adjoint of
 // Im2Col.
 func Col2Im(col *Tensor, c, h, w, kh, kw int, p ConvParams) *Tensor {
+	return Col2ImOn(nil, col, c, h, w, kh, kw, p)
+}
+
+// Col2ImOn is Col2Im on an explicit backend (nil selects the default).
+func Col2ImOn(be compute.Backend, col *Tensor, c, h, w, kh, kw int, p ConvParams) *Tensor {
 	p.validate()
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
 	if !col.ShapeEquals(c*kh*kw, oh*ow) {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d h=%d w=%d k=%dx%d", col.shape, c, h, w, kh, kw))
 	}
 	img := New(c, h, w)
-	for ci := 0; ci < c; ci++ {
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				r := (ci*kh+ki)*kw + kj
-				src := col.data[r*oh*ow : (r+1)*oh*ow]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*p.Stride + ki - p.Padding
-					if iy < 0 || iy >= h {
-						continue
-					}
-					dstRow := img.data[(ci*h+iy)*w : (ci*h+iy+1)*w]
-					base := oy * ow
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*p.Stride + kj - p.Padding
-						if ix >= 0 && ix < w {
-							dstRow[ix] += src[base+ox]
+	col2imAddInto(backendOr(be), img.data, col.data, c, h, w, kh, kw, p)
+	return img
+}
+
+// col2imAddInto accumulates the column matrix col into the image gradient
+// dst (len c*h*w). Overlapping taps land within a single channel, so the
+// scatter is partitioned across channels; within a channel the
+// accumulation order matches the serial kernel.
+func col2imAddInto(be compute.Backend, dst, col []float64, c, h, w, kh, kw int, p ConvParams) {
+	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	be.ParallelFor(c, grainRows(kh*kw*oh*ow), func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			for ki := 0; ki < kh; ki++ {
+				for kj := 0; kj < kw; kj++ {
+					r := (ci*kh+ki)*kw + kj
+					src := col[r*oh*ow : (r+1)*oh*ow]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + ki - p.Padding
+						if iy < 0 || iy >= h {
+							continue
+						}
+						dstRow := dst[(ci*h+iy)*w : (ci*h+iy+1)*w]
+						base := oy * ow
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kj - p.Padding
+							if ix >= 0 && ix < w {
+								dstRow[ix] += src[base+ox]
+							}
 						}
 					}
 				}
 			}
 		}
-	}
-	return img
+	})
 }
 
 // Conv2D computes a batched 2-D convolution (cross-correlation, as in deep
 // learning frameworks). x is [N,C,H,W], weight is [F,C,KH,KW], bias is [F]
 // or nil. The result is [N,F,OH,OW].
 func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
+	return Conv2DOn(nil, x, weight, bias, p)
+}
+
+// Conv2DOn is Conv2D on an explicit backend (nil selects the default).
+// Images are partitioned across workers and each worker draws its im2col
+// scratch matrix from the backend's buffer pool instead of allocating.
+func Conv2DOn(be compute.Backend, x, weight, bias *Tensor, p ConvParams) *Tensor {
 	p.validate()
 	if x.Dims() != 4 || weight.Dims() != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D needs 4-d x and weight, got %v, %v", x.shape, weight.shape))
@@ -114,25 +161,33 @@ func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
 	if bias != nil && !bias.ShapeEquals(f) {
 		panic(fmt.Sprintf("tensor: Conv2D bias shape %v, want [%d]", bias.shape, f))
 	}
+	be = backendOr(be)
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
-	wmat := weight.Reshape(f, c*kh*kw)
+	ckk := c * kh * kw
+	wmat := weight.data // [f, ckk] row-major, same layout as the reshape
 	out := New(n, f, oh, ow)
-	for i := 0; i < n; i++ {
-		img := &Tensor{shape: []int{c, h, w}, data: x.data[i*c*h*w : (i+1)*c*h*w]}
-		col := Im2Col(img, kh, kw, p)
-		res := MatMul(wmat, col) // [F, OH*OW]
-		dst := out.data[i*f*oh*ow : (i+1)*f*oh*ow]
-		copy(dst, res.data)
-		if bias != nil {
-			for fi := 0; fi < f; fi++ {
-				b := bias.data[fi]
-				seg := dst[fi*oh*ow : (fi+1)*oh*ow]
-				for j := range seg {
-					seg[j] += b
+	be.ParallelFor(n, 1, func(lo, hi int) {
+		col := be.Get(ckk * oh * ow)
+		defer be.Put(col)
+		for i := lo; i < hi; i++ {
+			img := x.data[i*c*h*w : (i+1)*c*h*w]
+			im2colInto(be, col, img, c, h, w, kh, kw, p)
+			dst := out.data[i*f*oh*ow : (i+1)*f*oh*ow]
+			// skipZero off: the weight matrix is dense, so the zero-skip
+			// would almost never fire and its allFinite scan of the im2col
+			// buffer is pure overhead on the conv hot path.
+			matMulInto(be, dst, wmat, col, f, ckk, oh*ow, false)
+			if bias != nil {
+				for fi := 0; fi < f; fi++ {
+					b := bias.data[fi]
+					seg := dst[fi*oh*ow : (fi+1)*oh*ow]
+					for j := range seg {
+						seg[j] += b
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -140,32 +195,68 @@ func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
 // gradient gout [N,F,OH,OW]. It returns (dx, dweight, dbias); dbias is nil
 // when hasBias is false.
 func Conv2DBackward(x, weight, gout *Tensor, p ConvParams, hasBias bool) (dx, dweight, dbias *Tensor) {
+	return Conv2DBackwardOn(nil, x, weight, gout, p, hasBias)
+}
+
+// Conv2DBackwardOn is Conv2DBackward on an explicit backend (nil selects
+// the default). Images are partitioned across workers: dx rows are
+// disjoint per image, while the weight gradient is computed as one pooled
+// partial product per image and merged in image order after the parallel
+// phase, so the result is independent of the partitioning.
+func Conv2DBackwardOn(be compute.Backend, x, weight, gout *Tensor, p ConvParams, hasBias bool) (dx, dweight, dbias *Tensor) {
 	p.validate()
+	be = backendOr(be)
+	if x.Dims() != 4 || weight.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2DBackward needs 4-d x and weight, got %v, %v", x.shape, weight.shape))
+	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	f, _, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	f, cw, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if c != cw {
+		panic(fmt.Sprintf("tensor: Conv2DBackward channel mismatch x=%v weight=%v", x.shape, weight.shape))
+	}
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
 	if !gout.ShapeEquals(n, f, oh, ow) {
 		panic(fmt.Sprintf("tensor: Conv2DBackward gout shape %v, want [%d %d %d %d]", gout.shape, n, f, oh, ow))
 	}
-	wmat := weight.Reshape(f, c*kh*kw)
+	ckk := c * kh * kw
+	wmat := weight.data // [f, ckk] row-major
 	dx = New(n, c, h, w)
-	dwmat := New(f, c*kh*kw)
+	dwmat := New(f, ckk)
 	if hasBias {
 		dbias = New(f)
 	}
-	for i := 0; i < n; i++ {
-		img := &Tensor{shape: []int{c, h, w}, data: x.data[i*c*h*w : (i+1)*c*h*w]}
-		col := Im2Col(img, kh, kw, p)
-		g := &Tensor{shape: []int{f, oh * ow}, data: gout.data[i*f*oh*ow : (i+1)*f*oh*ow]}
-		// dW += g · colᵀ
-		AddInto(dwmat, MatMulABT(g, col))
-		// dcol = Wᵀ · g, scattered back into dx
-		dcol := MatMulATB(wmat, g)
-		dimg := Col2Im(dcol, c, h, w, kh, kw, p)
-		copy(dx.data[i*c*h*w:(i+1)*c*h*w], dimg.data)
-		if hasBias {
+	// dwPartials[i] is image i's contribution g_i·col_iᵀ, merged below.
+	dwPartials := make([][]float64, n)
+	be.ParallelFor(n, 1, func(lo, hi int) {
+		col := be.Get(ckk * oh * ow)
+		dcol := be.Get(ckk * oh * ow)
+		defer be.Put(col)
+		defer be.Put(dcol)
+		for i := lo; i < hi; i++ {
+			img := x.data[i*c*h*w : (i+1)*c*h*w]
+			im2colInto(be, col, img, c, h, w, kh, kw, p)
+			g := gout.data[i*f*oh*ow : (i+1)*f*oh*ow]
+			// dW_i = g · colᵀ into a pooled per-image partial.
+			dw := be.Get(f * ckk)
+			matMulABTInto(be, dw, g, col, f, oh*ow, ckk)
+			dwPartials[i] = dw
+			// dcol = Wᵀ · g, scattered back into dx.
+			clear(dcol)
+			matMulATBInto(be, dcol, wmat, g, f, ckk, oh*ow, false)
+			col2imAddInto(be, dx.data[i*c*h*w:(i+1)*c*h*w], dcol, c, h, w, kh, kw, p)
+		}
+	})
+	for _, dw := range dwPartials {
+		for j, v := range dw {
+			dwmat.data[j] += v
+		}
+		be.Put(dw)
+	}
+	if hasBias {
+		for i := 0; i < n; i++ {
+			g := gout.data[i*f*oh*ow : (i+1)*f*oh*ow]
 			for fi := 0; fi < f; fi++ {
-				seg := g.data[fi*oh*ow : (fi+1)*oh*ow]
+				seg := g[fi*oh*ow : (fi+1)*oh*ow]
 				var s float64
 				for _, v := range seg {
 					s += v

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"snnsec/internal/compute"
 )
 
 func assertSameShape(op string, a, b *Tensor) {
@@ -11,73 +13,111 @@ func assertSameShape(op string, a, b *Tensor) {
 	}
 }
 
-// Add returns a + b elementwise.
-func Add(a, b *Tensor) *Tensor {
-	assertSameShape("Add", a, b)
+// binaryOn applies fn over matching index blocks of a fresh output tensor.
+func binaryOn(be compute.Backend, op string, a, b *Tensor, fn func(dst, x, y []float64)) *Tensor {
+	assertSameShape(op, a, b)
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
+	backendOr(be).ParallelFor(len(out.data), elemGrain, func(lo, hi int) {
+		fn(out.data[lo:hi], a.data[lo:hi], b.data[lo:hi])
+	})
 	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor { return AddOn(nil, a, b) }
+
+// AddOn returns a + b elementwise on be (nil selects the default backend).
+func AddOn(be compute.Backend, a, b *Tensor) *Tensor {
+	return binaryOn(be, "Add", a, b, func(dst, x, y []float64) {
+		for i := range dst {
+			dst[i] = x[i] + y[i]
+		}
+	})
 }
 
 // Sub returns a - b elementwise.
-func Sub(a, b *Tensor) *Tensor {
-	assertSameShape("Sub", a, b)
-	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
-	return out
+func Sub(a, b *Tensor) *Tensor { return SubOn(nil, a, b) }
+
+// SubOn returns a - b elementwise on be (nil selects the default backend).
+func SubOn(be compute.Backend, a, b *Tensor) *Tensor {
+	return binaryOn(be, "Sub", a, b, func(dst, x, y []float64) {
+		for i := range dst {
+			dst[i] = x[i] - y[i]
+		}
+	})
 }
 
 // Mul returns a * b elementwise (Hadamard product).
-func Mul(a, b *Tensor) *Tensor {
-	assertSameShape("Mul", a, b)
-	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
-	return out
+func Mul(a, b *Tensor) *Tensor { return MulOn(nil, a, b) }
+
+// MulOn returns a * b elementwise on be (nil selects the default backend).
+func MulOn(be compute.Backend, a, b *Tensor) *Tensor {
+	return binaryOn(be, "Mul", a, b, func(dst, x, y []float64) {
+		for i := range dst {
+			dst[i] = x[i] * y[i]
+		}
+	})
 }
 
 // Div returns a / b elementwise.
-func Div(a, b *Tensor) *Tensor {
-	assertSameShape("Div", a, b)
-	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] / b.data[i]
-	}
-	return out
+func Div(a, b *Tensor) *Tensor { return DivOn(nil, a, b) }
+
+// DivOn returns a / b elementwise on be (nil selects the default backend).
+func DivOn(be compute.Backend, a, b *Tensor) *Tensor {
+	return binaryOn(be, "Div", a, b, func(dst, x, y []float64) {
+		for i := range dst {
+			dst[i] = x[i] / y[i]
+		}
+	})
 }
 
 // Scale returns a*s elementwise.
-func Scale(a *Tensor, s float64) *Tensor {
+func Scale(a *Tensor, s float64) *Tensor { return ScaleOn(nil, a, s) }
+
+// ScaleOn returns a*s elementwise on be (nil selects the default backend).
+func ScaleOn(be compute.Backend, a *Tensor, s float64) *Tensor {
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] * s
-	}
+	backendOr(be).ParallelFor(len(out.data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] * s
+		}
+	})
 	return out
 }
 
 // AddScalar returns a+s elementwise.
-func AddScalar(a *Tensor, s float64) *Tensor {
+func AddScalar(a *Tensor, s float64) *Tensor { return AddScalarOn(nil, a, s) }
+
+// AddScalarOn returns a+s elementwise on be (nil selects the default
+// backend).
+func AddScalarOn(be compute.Backend, a *Tensor, s float64) *Tensor {
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] + s
-	}
+	backendOr(be).ParallelFor(len(out.data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] + s
+		}
+	})
 	return out
 }
 
 // Neg returns -a.
 func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
 
+// NegOn returns -a on be (nil selects the default backend).
+func NegOn(be compute.Backend, a *Tensor) *Tensor { return ScaleOn(be, a, -1) }
+
 // Apply returns f applied elementwise.
-func Apply(a *Tensor, f func(float64) float64) *Tensor {
+func Apply(a *Tensor, f func(float64) float64) *Tensor { return ApplyOn(nil, a, f) }
+
+// ApplyOn returns f applied elementwise on be (nil selects the default
+// backend). f must be safe for concurrent calls.
+func ApplyOn(be compute.Backend, a *Tensor, f func(float64) float64) *Tensor {
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = f(a.data[i])
-	}
+	backendOr(be).ParallelFor(len(out.data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = f(a.data[i])
+		}
+	})
 	return out
 }
 
@@ -90,14 +130,23 @@ func Log(a *Tensor) *Tensor { return Apply(a, math.Log) }
 // Tanh returns tanh(a) elementwise.
 func Tanh(a *Tensor) *Tensor { return Apply(a, math.Tanh) }
 
+// TanhOn returns tanh(a) elementwise on be.
+func TanhOn(be compute.Backend, a *Tensor) *Tensor { return ApplyOn(be, a, math.Tanh) }
+
 // Sigmoid returns the logistic function of a elementwise.
-func Sigmoid(a *Tensor) *Tensor {
-	return Apply(a, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+func Sigmoid(a *Tensor) *Tensor { return SigmoidOn(nil, a) }
+
+// SigmoidOn returns the logistic function of a elementwise on be.
+func SigmoidOn(be compute.Backend, a *Tensor) *Tensor {
+	return ApplyOn(be, a, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 }
 
 // ReLU returns max(a, 0) elementwise.
-func ReLU(a *Tensor) *Tensor {
-	return Apply(a, func(v float64) float64 {
+func ReLU(a *Tensor) *Tensor { return ReLUOn(nil, a) }
+
+// ReLUOn returns max(a, 0) elementwise on be.
+func ReLUOn(be compute.Backend, a *Tensor) *Tensor {
+	return ApplyOn(be, a, func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
@@ -106,8 +155,12 @@ func ReLU(a *Tensor) *Tensor {
 }
 
 // Sign returns the elementwise sign of a (−1, 0 or +1).
-func Sign(a *Tensor) *Tensor {
-	return Apply(a, func(v float64) float64 {
+func Sign(a *Tensor) *Tensor { return SignOn(nil, a) }
+
+// SignOn returns the elementwise sign of a on be (nil selects the default
+// backend).
+func SignOn(be compute.Backend, a *Tensor) *Tensor {
+	return ApplyOn(be, a, func(v float64) float64 {
 		switch {
 		case v > 0:
 			return 1
@@ -137,30 +190,34 @@ func Clamp(a *Tensor, lo, hi float64) *Tensor {
 
 // Maximum returns the elementwise maximum of a and b.
 func Maximum(a, b *Tensor) *Tensor {
-	assertSameShape("Maximum", a, b)
-	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = math.Max(a.data[i], b.data[i])
-	}
-	return out
+	return binaryOn(nil, "Maximum", a, b, func(dst, x, y []float64) {
+		for i := range dst {
+			dst[i] = math.Max(x[i], y[i])
+		}
+	})
 }
 
 // Minimum returns the elementwise minimum of a and b.
 func Minimum(a, b *Tensor) *Tensor {
-	assertSameShape("Minimum", a, b)
-	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = math.Min(a.data[i], b.data[i])
-	}
-	return out
+	return binaryOn(nil, "Minimum", a, b, func(dst, x, y []float64) {
+		for i := range dst {
+			dst[i] = math.Min(x[i], y[i])
+		}
+	})
 }
 
 // AddInto computes dst += src elementwise in place.
-func AddInto(dst, src *Tensor) {
+func AddInto(dst, src *Tensor) { AddIntoOn(nil, dst, src) }
+
+// AddIntoOn computes dst += src elementwise in place on be (nil selects
+// the default backend).
+func AddIntoOn(be compute.Backend, dst, src *Tensor) {
 	assertSameShape("AddInto", dst, src)
-	for i := range dst.data {
-		dst.data[i] += src.data[i]
-	}
+	backendOr(be).ParallelFor(len(dst.data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.data[i] += src.data[i]
+		}
+	})
 }
 
 // SubInto computes dst -= src elementwise in place.

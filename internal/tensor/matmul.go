@@ -1,11 +1,20 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
 
-// MatMul returns the matrix product a·b for 2-D tensors of shapes [m,k] and
-// [k,n]. The inner loops are ordered i-k-j so the innermost loop streams
-// contiguously over both b and the output row.
-func MatMul(a, b *Tensor) *Tensor {
+	"snnsec/internal/compute"
+)
+
+// MatMul returns the matrix product a·b for 2-D tensors of shapes [m,k]
+// and [k,n] on the default backend.
+func MatMul(a, b *Tensor) *Tensor { return MatMulOn(nil, a, b) }
+
+// MatMulOn returns a·b computed on be (nil selects the default backend).
+// Rows of the output are partitioned across workers; the inner loops are
+// ordered i-k-j so the innermost loop streams contiguously over both b
+// and the output row.
+func MatMulOn(be compute.Backend, a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v x %v", a.shape, b.shape))
 	}
@@ -15,26 +24,62 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	matMulInto(backendOr(be), out.data, a.data, b.data, m, k, n, true)
+	return out
+}
+
+// skipGate lazily decides whether the zero-skip fast path is sound. The
+// skip (spike matrices are mostly zeros) may only fire when b is finite
+// everywhere — 0·NaN and 0·Inf must propagate NaN — but scanning b up
+// front would tax every dense product, so the allFinite check runs at
+// most once per block and only after a zero coefficient is actually
+// encountered. The verdict depends only on b, never on partitioning, so
+// Serial and Parallel stay bit-identical.
+type skipGate struct {
+	b       []float64
+	checked bool
+	ok      bool
+}
+
+func (g *skipGate) skip() bool {
+	if !g.checked {
+		g.checked = true
+		g.ok = allFinite(g.b)
+	}
+	return g.ok
+}
+
+// matMulInto accumulates a·b into dst (len m*n, caller-zeroed), reading a
+// [m,k] and b [k,n]. Rows of dst are partitioned across workers.
+// allowSkip enables the zero-skip fast path (behind skipGate); pass false
+// when a is known dense so zero coefficients are not even tested for.
+func matMulInto(be compute.Backend, dst, a, b []float64, m, k, n int, allowSkip bool) {
+	be.ParallelFor(m, grainRows(2*k*n), func(lo, hi int) {
+		gate := skipGate{b: b}
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := dst[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 && allowSkip && gate.skip() {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
-	return out
+	})
 }
 
 // MatMulATB returns aᵀ·b for a of shape [k,m] and b of shape [k,n],
 // producing [m,n], without materialising the transpose.
-func MatMulATB(a, b *Tensor) *Tensor {
+func MatMulATB(a, b *Tensor) *Tensor { return MatMulATBOn(nil, a, b) }
+
+// MatMulATBOn returns aᵀ·b computed on be (nil selects the default
+// backend).
+func MatMulATBOn(be compute.Backend, a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulATB needs 2-d operands, got %v x %v", a.shape, b.shape))
 	}
@@ -44,26 +89,40 @@ func MatMulATB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulATB dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	matMulATBInto(backendOr(be), out.data, a.data, b.data, k, m, n, true)
+	return out
+}
+
+// matMulATBInto accumulates aᵀ·b into dst (len m*n, caller-zeroed) for a
+// [k,m] and b [k,n]. Output rows (columns of a) are partitioned across
+// workers; each element accumulates over p in ascending order regardless
+// of partitioning. allowSkip follows the same contract as matMulInto.
+func matMulATBInto(be compute.Backend, dst, a, b []float64, k, m, n int, allowSkip bool) {
+	be.ParallelFor(m, grainRows(2*k*n), func(lo, hi int) {
+		gate := skipGate{b: b}
+		for i := lo; i < hi; i++ {
+			orow := dst[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 && allowSkip && gate.skip() {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
-	return out
+	})
 }
 
 // MatMulABT returns a·bᵀ for a of shape [m,k] and b of shape [n,k],
 // producing [m,n], without materialising the transpose.
-func MatMulABT(a, b *Tensor) *Tensor {
+func MatMulABT(a, b *Tensor) *Tensor { return MatMulABTOn(nil, a, b) }
+
+// MatMulABTOn returns a·bᵀ computed on be (nil selects the default
+// backend).
+func MatMulABTOn(be compute.Backend, a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulABT needs 2-d operands, got %v x %v", a.shape, b.shape))
 	}
@@ -73,64 +132,94 @@ func MatMulABT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulABT dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			orow[j] = s
-		}
-	}
+	matMulABTInto(backendOr(be), out.data, a.data, b.data, m, k, n)
 	return out
 }
 
+// matMulABTInto writes a·bᵀ into dst (len m*n) for a [m,k] and b [n,k].
+// Each dst element is one dot product, so no accumulation crosses blocks.
+func matMulABTInto(be compute.Backend, dst, a, b []float64, m, k, n int) {
+	be.ParallelFor(m, grainRows(2*k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var s float64
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+}
+
 // Transpose2D returns the transpose of a 2-D tensor.
-func Transpose2D(a *Tensor) *Tensor {
+func Transpose2D(a *Tensor) *Tensor { return Transpose2DOn(nil, a) }
+
+// Transpose2DOn returns the transpose computed on be (nil selects the
+// default backend), partitioned over output rows.
+func Transpose2DOn(be compute.Backend, a *Tensor) *Tensor {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose2D on %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
+	backendOr(be).ParallelFor(n, grainRows(m), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			orow := out.data[j*m : (j+1)*m]
+			for i := 0; i < m; i++ {
+				orow[i] = a.data[i*n+j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // AddRowVector returns a with the 1-D vector v (length = a columns) added
 // to every row of the 2-D tensor a. Used for bias broadcasting.
-func AddRowVector(a, v *Tensor) *Tensor {
+func AddRowVector(a, v *Tensor) *Tensor { return AddRowVectorOn(nil, a, v) }
+
+// AddRowVectorOn broadcasts v over a's rows on be (nil selects the
+// default backend).
+func AddRowVectorOn(be compute.Backend, a, v *Tensor) *Tensor {
 	if a.Dims() != 2 || v.Dims() != 1 || v.shape[0] != a.shape[1] {
 		panic(fmt.Sprintf("tensor: AddRowVector shape mismatch %v + %v", a.shape, v.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[i*n+j] = a.data[i*n+j] + v.data[j]
+	backendOr(be).ParallelFor(m, grainRows(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				out.data[i*n+j] = a.data[i*n+j] + v.data[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // SumRows returns the column sums of a 2-D tensor as a 1-D vector. It is
 // the gradient counterpart of AddRowVector.
-func SumRows(a *Tensor) *Tensor {
+func SumRows(a *Tensor) *Tensor { return SumRowsOn(nil, a) }
+
+// SumRowsOn returns the column sums computed on be (nil selects the
+// default backend). Columns are partitioned across workers; each column
+// accumulates over rows in ascending order regardless of partitioning.
+func SumRowsOn(be compute.Backend, a *Tensor) *Tensor {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: SumRows on %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j] += a.data[i*n+j]
+	backendOr(be).ParallelFor(n, grainRows(m), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a.data[i*n+j]
+			}
+			out.data[j] = s
 		}
-	}
+	})
 	return out
 }

@@ -1,36 +1,52 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"snnsec/internal/compute"
+)
 
 // AvgPool2D performs non-overlapping average pooling with a k×k window and
 // stride k over x of shape [N,C,H,W]. H and W must be divisible by k.
-func AvgPool2D(x *Tensor, k int) *Tensor {
+func AvgPool2D(x *Tensor, k int) *Tensor { return AvgPool2DOn(nil, x, k) }
+
+// AvgPool2DOn is AvgPool2D on an explicit backend (nil selects the
+// default), partitioned over the independent [N*C] input planes.
+func AvgPool2DOn(be compute.Backend, x *Tensor, k int) *Tensor {
 	n, c, h, w := poolCheck("AvgPool2D", x, k)
 	oh, ow := h/k, w/k
 	out := New(n, c, oh, ow)
 	inv := 1 / float64(k*k)
-	for i := 0; i < n*c; i++ {
-		src := x.data[i*h*w : (i+1)*h*w]
-		dst := out.data[i*oh*ow : (i+1)*oh*ow]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				var s float64
-				for ky := 0; ky < k; ky++ {
-					row := src[(oy*k+ky)*w+ox*k:]
-					for kx := 0; kx < k; kx++ {
-						s += row[kx]
+	backendOr(be).ParallelFor(n*c, grainRows(h*w), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := x.data[i*h*w : (i+1)*h*w]
+			dst := out.data[i*oh*ow : (i+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float64
+					for ky := 0; ky < k; ky++ {
+						row := src[(oy*k+ky)*w+ox*k:]
+						for kx := 0; kx < k; kx++ {
+							s += row[kx]
+						}
 					}
+					dst[oy*ow+ox] = s * inv
 				}
-				dst[oy*ow+ox] = s * inv
 			}
 		}
-	}
+	})
 	return out
 }
 
 // AvgPool2DBackward distributes the upstream gradient gout [N,C,OH,OW]
 // uniformly over each pooling window, returning dx [N,C,H,W].
 func AvgPool2DBackward(gout *Tensor, k, h, w int) *Tensor {
+	return AvgPool2DBackwardOn(nil, gout, k, h, w)
+}
+
+// AvgPool2DBackwardOn is AvgPool2DBackward on an explicit backend (nil
+// selects the default).
+func AvgPool2DBackwardOn(be compute.Backend, gout *Tensor, k, h, w int) *Tensor {
 	if gout.Dims() != 4 {
 		panic(fmt.Sprintf("tensor: AvgPool2DBackward needs 4-d gout, got %v", gout.shape))
 	}
@@ -40,59 +56,73 @@ func AvgPool2DBackward(gout *Tensor, k, h, w int) *Tensor {
 	}
 	dx := New(n, c, h, w)
 	inv := 1 / float64(k*k)
-	for i := 0; i < n*c; i++ {
-		src := gout.data[i*oh*ow : (i+1)*oh*ow]
-		dst := dx.data[i*h*w : (i+1)*h*w]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				g := src[oy*ow+ox] * inv
-				for ky := 0; ky < k; ky++ {
-					row := dst[(oy*k+ky)*w+ox*k:]
-					for kx := 0; kx < k; kx++ {
-						row[kx] += g
+	backendOr(be).ParallelFor(n*c, grainRows(h*w), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := gout.data[i*oh*ow : (i+1)*oh*ow]
+			dst := dx.data[i*h*w : (i+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := src[oy*ow+ox] * inv
+					for ky := 0; ky < k; ky++ {
+						row := dst[(oy*k+ky)*w+ox*k:]
+						for kx := 0; kx < k; kx++ {
+							row[kx] += g
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 
 // MaxPool2D performs non-overlapping max pooling with a k×k window and
 // stride k. It returns the pooled tensor and the flat argmax index (within
 // the input plane) of each output element, for use by the backward pass.
-func MaxPool2D(x *Tensor, k int) (*Tensor, []int) {
+func MaxPool2D(x *Tensor, k int) (*Tensor, []int) { return MaxPool2DOn(nil, x, k) }
+
+// MaxPool2DOn is MaxPool2D on an explicit backend (nil selects the
+// default).
+func MaxPool2DOn(be compute.Backend, x *Tensor, k int) (*Tensor, []int) {
 	n, c, h, w := poolCheck("MaxPool2D", x, k)
 	oh, ow := h/k, w/k
 	out := New(n, c, oh, ow)
 	arg := make([]int, n*c*oh*ow)
-	for i := 0; i < n*c; i++ {
-		src := x.data[i*h*w : (i+1)*h*w]
-		dst := out.data[i*oh*ow : (i+1)*oh*ow]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				best := src[oy*k*w+ox*k]
-				bestIdx := oy*k*w + ox*k
-				for ky := 0; ky < k; ky++ {
-					for kx := 0; kx < k; kx++ {
-						idx := (oy*k+ky)*w + ox*k + kx
-						if src[idx] > best {
-							best = src[idx]
-							bestIdx = idx
+	backendOr(be).ParallelFor(n*c, grainRows(h*w), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := x.data[i*h*w : (i+1)*h*w]
+			dst := out.data[i*oh*ow : (i+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := src[oy*k*w+ox*k]
+					bestIdx := oy*k*w + ox*k
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							idx := (oy*k+ky)*w + ox*k + kx
+							if src[idx] > best {
+								best = src[idx]
+								bestIdx = idx
+							}
 						}
 					}
+					dst[oy*ow+ox] = best
+					arg[i*oh*ow+oy*ow+ox] = bestIdx
 				}
-				dst[oy*ow+ox] = best
-				arg[i*oh*ow+oy*ow+ox] = bestIdx
 			}
 		}
-	}
+	})
 	return out, arg
 }
 
 // MaxPool2DBackward routes the upstream gradient to the argmax positions
 // recorded by MaxPool2D.
 func MaxPool2DBackward(gout *Tensor, arg []int, k, h, w int) *Tensor {
+	return MaxPool2DBackwardOn(nil, gout, arg, k, h, w)
+}
+
+// MaxPool2DBackwardOn is MaxPool2DBackward on an explicit backend (nil
+// selects the default).
+func MaxPool2DBackwardOn(be compute.Backend, gout *Tensor, arg []int, k, h, w int) *Tensor {
 	n, c, oh, ow := gout.shape[0], gout.shape[1], gout.shape[2], gout.shape[3]
 	if oh*k != h || ow*k != w {
 		panic(fmt.Sprintf("tensor: MaxPool2DBackward size mismatch out=%dx%d k=%d in=%dx%d", oh, ow, k, h, w))
@@ -101,13 +131,15 @@ func MaxPool2DBackward(gout *Tensor, arg []int, k, h, w int) *Tensor {
 		panic(fmt.Sprintf("tensor: MaxPool2DBackward argmax length %d, want %d", len(arg), n*c*oh*ow))
 	}
 	dx := New(n, c, h, w)
-	for i := 0; i < n*c; i++ {
-		src := gout.data[i*oh*ow : (i+1)*oh*ow]
-		dst := dx.data[i*h*w : (i+1)*h*w]
-		for j, g := range src {
-			dst[arg[i*oh*ow+j]] += g
+	backendOr(be).ParallelFor(n*c, grainRows(h*w), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := gout.data[i*oh*ow : (i+1)*oh*ow]
+			dst := dx.data[i*h*w : (i+1)*h*w]
+			for j, g := range src {
+				dst[arg[i*oh*ow+j]] += g
+			}
 		}
-	}
+	})
 	return dx
 }
 

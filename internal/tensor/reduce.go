@@ -3,7 +3,16 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"snnsec/internal/compute"
 )
+
+// The scalar reductions (Sum, Mean, Dot, the norms) deliberately stay
+// serial: they are memory-bound, and parallel partial sums would change
+// the floating-point accumulation order, breaking the bit-identical
+// Serial/Parallel guarantee the backend contract makes. Row-wise
+// reductions (ArgmaxRows, SoftmaxRows, SumRows) have independent outputs
+// per row and do run on the backend.
 
 // Sum returns the sum of all elements.
 func Sum(a *Tensor) float64 {
@@ -52,22 +61,28 @@ func Argmax(a *Tensor) int {
 
 // ArgmaxRows returns, for a 2-D tensor, the argmax of each row. This is the
 // predicted class per sample for a [batch, classes] logit matrix.
-func ArgmaxRows(a *Tensor) []int {
+func ArgmaxRows(a *Tensor) []int { return ArgmaxRowsOn(nil, a) }
+
+// ArgmaxRowsOn is ArgmaxRows on an explicit backend (nil selects the
+// default), partitioned over rows.
+func ArgmaxRowsOn(be compute.Backend, a *Tensor) []int {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: ArgmaxRows on %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := make([]int, m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*n : (i+1)*n]
-		best, bi := math.Inf(-1), 0
-		for j, v := range row {
-			if v > best {
-				best, bi = v, j
+	backendOr(be).ParallelFor(m, grainRows(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*n : (i+1)*n]
+			best, bi := math.Inf(-1), 0
+			for j, v := range row {
+				if v > best {
+					best, bi = v, j
+				}
 			}
+			out[i] = bi
 		}
-		out[i] = bi
-	}
+	})
 	return out
 }
 
@@ -99,30 +114,36 @@ func NormInf(a *Tensor) float64 {
 
 // SoftmaxRows returns row-wise softmax of a 2-D tensor, computed with the
 // usual max-subtraction for numerical stability.
-func SoftmaxRows(a *Tensor) *Tensor {
+func SoftmaxRows(a *Tensor) *Tensor { return SoftmaxRowsOn(nil, a) }
+
+// SoftmaxRowsOn is SoftmaxRows on an explicit backend (nil selects the
+// default), partitioned over rows.
+func SoftmaxRowsOn(be compute.Backend, a *Tensor) *Tensor {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: SoftmaxRows on %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		row := a.data[i*n : (i+1)*n]
-		orow := out.data[i*n : (i+1)*n]
-		mx := math.Inf(-1)
-		for _, v := range row {
-			if v > mx {
-				mx = v
+	backendOr(be).ParallelFor(m, grainRows(4*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*n : (i+1)*n]
+			orow := out.data[i*n : (i+1)*n]
+			mx := math.Inf(-1)
+			for _, v := range row {
+				if v > mx {
+					mx = v
+				}
+			}
+			var z float64
+			for j, v := range row {
+				e := math.Exp(v - mx)
+				orow[j] = e
+				z += e
+			}
+			for j := range orow {
+				orow[j] /= z
 			}
 		}
-		var z float64
-		for j, v := range row {
-			e := math.Exp(v - mx)
-			orow[j] = e
-			z += e
-		}
-		for j := range orow {
-			orow[j] /= z
-		}
-	}
+	})
 	return out
 }

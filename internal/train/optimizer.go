@@ -69,7 +69,10 @@ func (o *Momentum) Step(params []*nn.Param) {
 		}
 		tensor.ScaleInto(v, o.mu)
 		tensor.Axpy(-o.lr, p.Grad, v)
-		tensor.AddInto(p.Data, v)
+		// Axpy(1, ...) rather than AddInto keeps the update on the calling
+		// goroutine: optimiser steps run inside grid workers, and the
+		// in-place serial loop is cheaper than a backend dispatch.
+		tensor.Axpy(1, v, p.Data)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/dataset"
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
@@ -16,6 +17,11 @@ import (
 type Config struct {
 	Epochs    int
 	BatchSize int
+	// Backend is the compute backend every tape of this run executes on;
+	// nil selects compute.Default(). The exploration sweep hands each
+	// grid-point worker a bounded-width backend here so grid-level and
+	// kernel-level parallelism compose without oversubscription.
+	Backend compute.Backend
 	// Optimizer defaults to Adam(1e-3) when nil.
 	Optimizer Optimizer
 	// Schedule, when non-nil, overrides the optimiser's rate per epoch.
@@ -75,7 +81,7 @@ func Fit(model nn.Classifier, ds *dataset.Dataset, cfg Config) (*Result, error) 
 			for _, p := range model.Params() {
 				p.ZeroGrad()
 			}
-			tp := autodiff.NewTape()
+			tp := autodiff.NewTapeOn(cfg.Backend)
 			x := tp.Const(b.X)
 			logits := model.Logits(tp, x)
 			loss := tp.SoftmaxCrossEntropy(logits, b.Y)
@@ -90,7 +96,7 @@ func Fit(model nn.Classifier, ds *dataset.Dataset, cfg Config) (*Result, error) 
 				clipGrads(model.Params(), cfg.GradClip)
 			}
 			opt.Step(model.Params())
-			for i, p := range tensor.ArgmaxRows(logits.Data) {
+			for i, p := range tensor.ArgmaxRowsOn(tp.Backend(), logits.Data) {
 				if p == b.Y[i] {
 					correct++
 				}
@@ -124,13 +130,19 @@ func clipGrads(params []*nn.Param, c float64) {
 }
 
 // Evaluate returns classification accuracy of the model on ds, processed
-// in batches of batchSize.
+// in batches of batchSize, on the default backend.
 func Evaluate(model nn.Classifier, ds *dataset.Dataset, batchSize int) float64 {
+	return EvaluateOn(nil, model, ds, batchSize)
+}
+
+// EvaluateOn is Evaluate on an explicit compute backend (nil selects the
+// default).
+func EvaluateOn(be compute.Backend, model nn.Classifier, ds *dataset.Dataset, batchSize int) float64 {
 	correct := 0
 	for _, b := range ds.Batches(batchSize) {
-		tp := autodiff.NewTape()
+		tp := autodiff.NewTapeOn(be)
 		logits := model.Logits(tp, tp.Const(b.X))
-		for i, p := range tensor.ArgmaxRows(logits.Data) {
+		for i, p := range tensor.ArgmaxRowsOn(tp.Backend(), logits.Data) {
 			if p == b.Y[i] {
 				correct++
 			}
