@@ -432,10 +432,12 @@ func BenchmarkSynthDigits(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Compute-backend benchmarks: the same kernel on the Serial and Parallel
-// backends. The pairs feed BENCH_compute.json (see
-// TestWriteComputeBenchJSON) so the perf trajectory of the compute layer
-// is tracked from this PR on.
+// Compute-backend benchmarks: each kernel on the Serial and Parallel
+// backends, plus the old-vs-new kernel pairs of the batched-conv PR
+// (per-image vs batched conv pipeline, naive vs blocked matmul). The
+// pairs feed BENCH_compute.json (see TestWriteComputeBenchJSON), which
+// keeps one history record per PR so the perf trajectory of the compute
+// layer is tracked across the stack.
 
 func benchMatMul256(b *testing.B, be compute.Backend) {
 	r := tensor.NewRand(9, 9)
@@ -450,12 +452,30 @@ func benchMatMul256(b *testing.B, be compute.Backend) {
 func BenchmarkMatMul256Serial(b *testing.B)   { benchMatMul256(b, compute.NewSerial()) }
 func BenchmarkMatMul256Parallel(b *testing.B) { benchMatMul256(b, compute.NewParallel(0)) }
 
-func benchConvForwardBatch32(b *testing.B, be compute.Backend) {
+// benchMatMul256Naive is the naive-reference side of the naive-vs-blocked
+// matmul pair.
+func benchMatMul256Naive(b *testing.B, be compute.Backend) {
+	r := tensor.NewRand(9, 9)
+	x := tensor.RandN(r, 0, 1, 256, 256)
+	y := tensor.RandN(r, 0, 1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulNaiveOn(be, x, y)
+	}
+}
+
+func BenchmarkMatMul256Naive(b *testing.B) { benchMatMul256Naive(b, compute.NewSerial()) }
+
+func convBenchFixture() (x, w, bias *tensor.Tensor, p tensor.ConvParams) {
 	r := tensor.NewRand(10, 10)
-	x := tensor.RandN(r, 0, 1, 32, 1, 16, 16)
-	w := tensor.RandN(r, 0, 1, 6, 1, 5, 5)
-	bias := tensor.RandN(r, 0, 1, 6)
-	p := tensor.ConvParams{Stride: 1, Padding: 2}
+	x = tensor.RandN(r, 0, 1, 32, 1, 16, 16)
+	w = tensor.RandN(r, 0, 1, 6, 1, 5, 5)
+	bias = tensor.RandN(r, 0, 1, 6)
+	return x, w, bias, tensor.ConvParams{Stride: 1, Padding: 2}
+}
+
+func benchConvForwardBatch32(b *testing.B, be compute.Backend) {
+	x, w, bias, p := convBenchFixture()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Conv2DOn(be, x, w, bias, p)
@@ -467,6 +487,52 @@ func BenchmarkConvForwardBatch32Serial(b *testing.B) {
 }
 func BenchmarkConvForwardBatch32Parallel(b *testing.B) {
 	benchConvForwardBatch32(b, compute.NewParallel(0))
+}
+
+// benchConvForwardBatch32PerImage is the per-image reference side of the
+// per-image-vs-batched conv pair (PR-1 path: one im2col and one naive
+// matmul per image).
+func benchConvForwardBatch32PerImage(b *testing.B, be compute.Backend) {
+	x, w, bias, p := convBenchFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DPerImageOn(be, x, w, bias, p)
+	}
+}
+
+func BenchmarkConvForwardBatch32PerImage(b *testing.B) {
+	benchConvForwardBatch32PerImage(b, compute.NewSerial())
+}
+
+func convBackwardBenchFixture() (x, w, gout *tensor.Tensor, p tensor.ConvParams) {
+	x, w, _, p = convBenchFixture()
+	r := tensor.NewRand(12, 12)
+	gout = tensor.RandN(r, 0, 1, 32, 6, 16, 16)
+	return x, w, gout, p
+}
+
+func benchConvBackwardBatch32(b *testing.B, be compute.Backend) {
+	x, w, gout, p := convBackwardBenchFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DBackwardOn(be, x, w, gout, p, true)
+	}
+}
+
+func BenchmarkConvBackwardBatch32Serial(b *testing.B) {
+	benchConvBackwardBatch32(b, compute.NewSerial())
+}
+
+func benchConvBackwardBatch32PerImage(b *testing.B, be compute.Backend) {
+	x, w, gout, p := convBackwardBenchFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DBackwardPerImageOn(be, x, w, gout, p, true)
+	}
+}
+
+func BenchmarkConvBackwardBatch32PerImage(b *testing.B) {
+	benchConvBackwardBatch32PerImage(b, compute.NewSerial())
 }
 
 func benchSNNBPTTStep(b *testing.B, be compute.Backend) {
@@ -491,8 +557,36 @@ func benchSNNBPTTStep(b *testing.B, be compute.Backend) {
 func BenchmarkSNNBPTTStepSerial(b *testing.B)   { benchSNNBPTTStep(b, compute.NewSerial()) }
 func BenchmarkSNNBPTTStepParallel(b *testing.B) { benchSNNBPTTStep(b, compute.NewParallel(0)) }
 
-// TestWriteComputeBenchJSON regenerates BENCH_compute.json, the tracked
-// record of the serial-vs-parallel kernel timings. It only runs when
+// BENCH_compute.json schema: one history record per PR, appended (never
+// overwritten) by TestWriteComputeBenchJSON, so the perf trajectory of
+// the compute layer is reviewable across the stack. Each benchmark pair
+// times a baseline and a candidate of the same computation and records
+// speedup = baseline/candidate.
+type benchPairEntry struct {
+	Name        string  `json:"name"`
+	Baseline    string  `json:"baseline"`
+	Candidate   string  `json:"candidate"`
+	BaselineNs  int64   `json:"baseline_ns_op"`
+	CandidateNs int64   `json:"candidate_ns_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type benchRecord struct {
+	Label      string           `json:"label"`
+	NumCPU     int              `json:"numcpu"`
+	Benchmarks []benchPairEntry `json:"benchmarks"`
+}
+
+type benchDoc struct {
+	Note    string        `json:"note"`
+	History []benchRecord `json:"history"`
+}
+
+// TestWriteComputeBenchJSON appends this PR's kernel-timing record to
+// BENCH_compute.json: serial-vs-parallel for each kernel, plus the
+// per-image-vs-batched conv pipeline and naive-vs-blocked matmul pairs.
+// A record with the same label (SNNSEC_BENCH_LABEL, default "PR 2") is
+// replaced; other PRs' records are preserved. It only runs when
 // SNNSEC_WRITE_BENCH is set:
 //
 //	SNNSEC_WRITE_BENCH=1 go test -run TestWriteComputeBenchJSON
@@ -500,38 +594,60 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 	if os.Getenv("SNNSEC_WRITE_BENCH") == "" {
 		t.Skip("set SNNSEC_WRITE_BENCH=1 to rewrite BENCH_compute.json")
 	}
-	type entry struct {
-		Name         string  `json:"name"`
-		SerialNsOp   int64   `json:"serial_ns_op"`
-		ParallelNsOp int64   `json:"parallel_ns_op"`
-		Speedup      float64 `json:"speedup"`
+	ser, par := compute.NewSerial(), compute.NewParallel(0)
+	onBe := func(fn func(*testing.B, compute.Backend), be compute.Backend) func(*testing.B) {
+		return func(b *testing.B) { fn(b, be) }
 	}
 	pairs := []struct {
-		name string
-		fn   func(*testing.B, compute.Backend)
+		name, baseline, candidate string
+		base, cand                func(*testing.B)
 	}{
-		{"MatMul256", benchMatMul256},
-		{"ConvForwardBatch32", benchConvForwardBatch32},
-		{"SNNBPTTStep", benchSNNBPTTStep},
+		{"MatMul256", "serial", "parallel", onBe(benchMatMul256, ser), onBe(benchMatMul256, par)},
+		{"ConvForwardBatch32", "serial", "parallel", onBe(benchConvForwardBatch32, ser), onBe(benchConvForwardBatch32, par)},
+		{"SNNBPTTStep", "serial", "parallel", onBe(benchSNNBPTTStep, ser), onBe(benchSNNBPTTStep, par)},
+		{"MatMul256", "naive", "blocked", onBe(benchMatMul256Naive, ser), onBe(benchMatMul256, ser)},
+		{"ConvForwardBatch32", "per-image", "batched", onBe(benchConvForwardBatch32PerImage, ser), onBe(benchConvForwardBatch32, ser)},
+		{"ConvBackwardBatch32", "per-image", "batched", onBe(benchConvBackwardBatch32PerImage, ser), onBe(benchConvBackwardBatch32, ser)},
 	}
-	doc := struct {
-		NumCPU     int     `json:"numcpu"`
-		Note       string  `json:"note"`
-		Benchmarks []entry `json:"benchmarks"`
-	}{
-		NumCPU: runtime.NumCPU(),
-		Note:   "serial vs parallel compute backend; speedup = serial/parallel, meaningful only when numcpu > 1",
+	label := os.Getenv("SNNSEC_BENCH_LABEL")
+	if label == "" {
+		label = "PR 2"
 	}
+	rec := benchRecord{Label: label, NumCPU: runtime.NumCPU()}
 	for _, p := range pairs {
-		ser := testing.Benchmark(func(b *testing.B) { p.fn(b, compute.NewSerial()) })
-		par := testing.Benchmark(func(b *testing.B) { p.fn(b, compute.NewParallel(0)) })
-		doc.Benchmarks = append(doc.Benchmarks, entry{
-			Name:         p.name,
-			SerialNsOp:   ser.NsPerOp(),
-			ParallelNsOp: par.NsPerOp(),
-			Speedup:      float64(ser.NsPerOp()) / float64(par.NsPerOp()),
+		base := testing.Benchmark(p.base)
+		cand := testing.Benchmark(p.cand)
+		rec.Benchmarks = append(rec.Benchmarks, benchPairEntry{
+			Name:        p.name,
+			Baseline:    p.baseline,
+			Candidate:   p.candidate,
+			BaselineNs:  base.NsPerOp(),
+			CandidateNs: cand.NsPerOp(),
+			Speedup:     float64(base.NsPerOp()) / float64(cand.NsPerOp()),
 		})
 	}
+	var doc benchDoc
+	if buf, err := os.ReadFile("BENCH_compute.json"); err == nil {
+		// A file that exists but does not parse — or parses to no history
+		// records (e.g. a legacy flat schema, whose unknown fields
+		// Unmarshal would silently ignore) — must stop the run:
+		// overwriting it would wipe the per-PR history. Migrate or delete
+		// the file by hand to proceed.
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			t.Fatalf("BENCH_compute.json exists but does not parse (%v); refusing to overwrite history", err)
+		}
+		if len(doc.History) == 0 {
+			t.Fatalf("BENCH_compute.json exists but holds no history records (legacy schema?); refusing to overwrite it")
+		}
+	}
+	doc.Note = "per-PR kernel timing records; speedup = baseline_ns_op/candidate_ns_op; serial-vs-parallel pairs are meaningful only when numcpu > 1"
+	kept := doc.History[:0]
+	for _, r := range doc.History {
+		if r.Label != label {
+			kept = append(kept, r)
+		}
+	}
+	doc.History = append(kept, rec)
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -36,11 +36,17 @@
 // scratch buffers through a sync.Pool. The two backends are
 // bit-identical by construction, and bounded-width backends let
 // kernel-level parallelism compose with the grid-level parallelism of
-// internal/explore without oversubscription.
+// internal/explore without oversubscription. Convolution runs as a
+// batched im2col pipeline — one matmul per batch rather than per image —
+// on top of cache-blocked, register-tiled matmul micro-kernels (AVX on
+// amd64, scalar tiles elsewhere) that are bit-identical to the naive
+// reference kernels they replaced; BENCH_compute.json tracks the kernel
+// timings per PR.
 //
 // The benchmark harness in bench_test.go regenerates every figure of the
-// paper's evaluation (Figures 1, 6, 7, 8 and 9) at a CPU-friendly scale;
-// see DESIGN.md and EXPERIMENTS.md.
+// paper's evaluation (Figures 1, 6, 7, 8 and 9) at a CPU-friendly scale.
+// README.md has the quickstart and CLI tour, DESIGN.md the architecture
+// and numerical conventions, and EXPERIMENTS.md the experiment guide.
 package snnsec
 
 // Version is the library version reported by the CLI.

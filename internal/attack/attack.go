@@ -11,6 +11,11 @@
 // current units (normalised MNIST units in the experiment presets, so
 // ε = 1.5 matches the paper's strongest setting) and clip the adversarial
 // example to the valid pixel range.
+//
+// Attacks perturb whole [N,1,H,W] batches at a time: every PGD/FGSM
+// gradient step is one forward/backward pass over the batch, so the
+// per-step cost rides the batched conv pipeline and the backend
+// parallelism of the layers below rather than looping over images here.
 package attack
 
 import (

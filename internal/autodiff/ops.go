@@ -127,7 +127,9 @@ func (tp *Tape) Tanh(a *Value) *Value {
 }
 
 // Conv2D returns the batched 2-D convolution of x [N,C,H,W] with weight
-// [F,C,KH,KW] and optional bias [F] (pass nil for no bias).
+// [F,C,KH,KW] and optional bias [F] (pass nil for no bias). Forward and
+// pullback both run the batched im2col pipeline: one matmul over the
+// whole batch per product, on the tape's backend.
 func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
 	var bt *tensor.Tensor
 	if bias != nil {

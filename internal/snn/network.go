@@ -116,6 +116,14 @@ func (n *Network) SetVth(vth float64) {
 
 // Logits simulates the network for T steps and returns [N, classes]
 // scores. It implements nn.Classifier.
+//
+// This is the BPTT hot loop: each of the T timesteps runs every synapse
+// over the whole batch (one batched im2col matmul per conv synapse) and
+// every LIF population elementwise, all on the tape's backend, and the
+// pullbacks replay the same batched kernels in reverse. Wall-clock for
+// training and for white-box attacks alike is dominated by these T
+// unrolled steps, which is why the (Vth, T) exploration scales linearly
+// in T.
 func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 	if err := n.Validate(); err != nil {
 		panic(err)

@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"snnsec/internal/compute"
+)
+
+// These tests pin the two PR-level kernel claims bit-for-bit:
+//
+//   - the cache-blocked matmul micro-kernels produce exactly the floats
+//     of the naive reference kernels in naive.go (same ascending-k
+//     accumulation per element, same zero-skip decisions);
+//   - the batched im2col conv pipeline produces exactly the floats of
+//     the per-image reference path (forward, input grad, weight grad,
+//     bias grad);
+//
+// across odd shapes (tile fringes in every dimension), stride/padding
+// combinations, and the Serial and Parallel backends.
+
+// blockedBackends covers Serial, a width smaller than most tile counts,
+// and a width larger than any tested dimension.
+var blockedBackends = []compute.Backend{
+	compute.Serial{},
+	compute.NewParallel(3),
+	compute.NewParallel(16),
+}
+
+// sprinkleZeros zeroes every third element so the zero-skip branch fires
+// on some rows of some tiles but not others.
+func sprinkleZeros(t *Tensor) {
+	d := t.Data()
+	for i := 0; i < len(d); i += 3 {
+		d[i] = 0
+	}
+}
+
+func TestBlockedMatMulMatchesNaive(t *testing.T) {
+	r := NewRand(19, 41)
+	ser := compute.Serial{}
+	// Shapes straddle the mrTile/nrTile/ncBlock boundaries: exact
+	// multiples, one-off fringes, single rows/columns, and a matrix wider
+	// than one column panel.
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {4, 4, 4}, {5, 7, 9}, {8, 16, 8},
+		{17, 25, 13}, {6, 25, 150}, {33, 65, 129}, {12, 9, 260},
+	}
+	for _, s := range shapes {
+		// dense = false routes the product through the zero-skip scalar
+		// tiles; dense = true keeps rows zero-free so full tiles take the
+		// AVX micro-kernel (where the CPU has one) — both must reproduce
+		// the naive floats exactly.
+		for _, dense := range []bool{false, true} {
+			a := RandN(r, 0, 1, s.m, s.k)
+			b := RandN(r, 0, 1, s.k, s.n)
+			if !dense {
+				sprinkleZeros(a)
+			}
+			want := MatMulNaiveOn(ser, a, b)
+			wantATB := New(s.m, s.n)
+			at := Transpose2D(a)
+			matMulATBNaiveInto(ser, wantATB.data, at.data, b.data, s.k, s.m, s.n, true)
+			wantABT := New(s.m, s.n)
+			bt := Transpose2D(b)
+			matMulABTNaiveInto(ser, wantABT.data, a.data, bt.data, s.m, s.k, s.n)
+			for _, be := range blockedBackends {
+				assertIdentical(t, "blocked MatMul", want, MatMulOn(be, a, b))
+				assertIdentical(t, "blocked MatMulATB", wantATB, MatMulATBOn(be, at, b))
+				assertIdentical(t, "blocked MatMulABT", wantABT, MatMulABTOn(be, a, bt))
+			}
+		}
+	}
+}
+
+// TestBlockedMatMulMixedRowBlocks zeroes entire rows of a so adjacent row
+// blocks of one product take different paths (zero-skip scalar vs AVX)
+// and still agree with the naive kernel.
+func TestBlockedMatMulMixedRowBlocks(t *testing.T) {
+	r := NewRand(31, 53)
+	ser := compute.Serial{}
+	a := RandN(r, 0, 1, 11, 9)
+	b := RandN(r, 0, 1, 9, 21)
+	for i := 4; i < 8; i++ { // second row block gets the zeros
+		for j := 0; j < 9; j += 2 {
+			a.Set(0, i, j)
+		}
+	}
+	want := MatMulNaiveOn(ser, a, b)
+	for _, be := range blockedBackends {
+		assertIdentical(t, "mixed row blocks", want, MatMulOn(be, a, b))
+	}
+}
+
+// TestBlockedMatMulNaNPropagation re-pins the PR-1 finiteness gate on the
+// blocked kernels: a NaN or Inf in b must poison the product even where
+// a's coefficient is zero (0·NaN is NaN), in full tiles and in fringes.
+func TestBlockedMatMulNaNPropagation(t *testing.T) {
+	for _, m := range []int{4, 5} { // full tile and row fringe
+		a := New(m, 2)
+		// Row 0 of a is all zeros; rows beyond stay zero too.
+		b := FromSlice([]float64{math.NaN(), 1, 2, 3}, 2, 2)
+		for _, be := range blockedBackends {
+			out := MatMulOn(be, a, b)
+			if !math.IsNaN(out.At(0, 0)) {
+				t.Fatalf("m=%d: blocked MatMul swallowed NaN: got %v", m, out.At(0, 0))
+			}
+			outATB := MatMulATBOn(be, Transpose2D(a), b)
+			if !math.IsNaN(outATB.At(0, 0)) {
+				t.Fatalf("m=%d: blocked MatMulATB swallowed NaN: got %v", m, outATB.At(0, 0))
+			}
+		}
+	}
+}
+
+// convCases stresses the batched pipeline's slab arithmetic: batch sizes
+// around the worker count, odd spatial sizes, strides > 1, zero and
+// asymmetric-looking paddings, and multi-channel inputs.
+var convCases = []struct {
+	n, c, h, w, f, k int
+	p                ConvParams
+}{
+	{1, 1, 5, 5, 1, 3, ConvParams{Stride: 1, Padding: 1}},
+	{2, 3, 7, 9, 4, 3, ConvParams{Stride: 2, Padding: 1}},
+	{3, 1, 16, 16, 6, 5, ConvParams{Stride: 1, Padding: 0}},
+	{5, 2, 8, 8, 3, 5, ConvParams{Stride: 1, Padding: 2}},
+	{7, 2, 9, 7, 5, 3, ConvParams{Stride: 3, Padding: 2}},
+	{16, 1, 11, 11, 6, 5, ConvParams{Stride: 2, Padding: 2}},
+	// Kernel wider than the padded-row overlap on some taps (kw > w+1
+	// with this padding): the stride-1 im2col fast path must clamp its
+	// copy interval to an empty range instead of panicking.
+	{2, 1, 1, 1, 2, 5, ConvParams{Stride: 1, Padding: 2}},
+	{2, 2, 3, 2, 3, 5, ConvParams{Stride: 1, Padding: 2}},
+}
+
+func TestBatchedConvMatchesPerImage(t *testing.T) {
+	r := NewRand(23, 43)
+	ser := compute.Serial{}
+	for _, cs := range convCases {
+		x := RandN(r, 0, 1, cs.n, cs.c, cs.h, cs.w)
+		wt := RandN(r, 0, 1, cs.f, cs.c, cs.k, cs.k)
+		bias := RandN(r, 0, 1, cs.f)
+		oh := cs.p.ConvOutSize(cs.h, cs.k)
+		ow := cs.p.ConvOutSize(cs.w, cs.k)
+		gout := RandN(r, 0, 1, cs.n, cs.f, oh, ow)
+
+		want := Conv2DPerImageOn(ser, x, wt, bias, cs.p)
+		wantNoBias := Conv2DPerImageOn(ser, x, wt, nil, cs.p)
+		wdx, wdw, wdb := Conv2DBackwardPerImageOn(ser, x, wt, gout, cs.p, true)
+		for _, be := range blockedBackends {
+			assertIdentical(t, "batched Conv2D", want, Conv2DOn(be, x, wt, bias, cs.p))
+			assertIdentical(t, "batched Conv2D no-bias", wantNoBias, Conv2DOn(be, x, wt, nil, cs.p))
+			dx, dw, db := Conv2DBackwardOn(be, x, wt, gout, cs.p, true)
+			assertIdentical(t, "batched Conv2DBackward dx", wdx, dx)
+			assertIdentical(t, "batched Conv2DBackward dw", wdw, dw)
+			assertIdentical(t, "batched Conv2DBackward db", wdb, db)
+			dxn, dwn, dbn := Conv2DBackwardOn(be, x, wt, gout, cs.p, false)
+			assertIdentical(t, "batched Conv2DBackward dx no-bias", wdx, dxn)
+			assertIdentical(t, "batched Conv2DBackward dw no-bias", wdw, dwn)
+			if dbn != nil {
+				t.Fatalf("batched Conv2DBackward returned dbias without hasBias")
+			}
+		}
+	}
+}
+
+// TestBatchedIm2ColSlabLayout pins the batch-wide column-matrix layout:
+// image i's slab of the batched expansion must equal the single-image
+// Im2Col of image i, column-shifted by i·OH·OW.
+func TestBatchedIm2ColSlabLayout(t *testing.T) {
+	r := NewRand(29, 47)
+	const n, c, h, w, k = 3, 2, 6, 7, 3
+	p := ConvParams{Stride: 2, Padding: 1}
+	x := RandN(r, 0, 1, n, c, h, w)
+	oh, ow := p.ConvOutSize(h, k), p.ConvOutSize(w, k)
+	ckk := c * k * k
+	batched := make([]float64, ckk*n*oh*ow)
+	im2colBatchInto(compute.Serial{}, batched, x.Data(), n, c, h, w, k, k, p)
+	for i := 0; i < n; i++ {
+		col := Im2Col(x.Slice(i), k, k, p)
+		for rr := 0; rr < ckk; rr++ {
+			for j := 0; j < oh*ow; j++ {
+				got := batched[rr*n*oh*ow+i*oh*ow+j]
+				if want := col.At(rr, j); got != want {
+					t.Fatalf("slab image %d row %d col %d: %v vs %v", i, rr, j, got, want)
+				}
+			}
+		}
+	}
+}

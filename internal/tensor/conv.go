@@ -6,6 +6,17 @@ import (
 	"snnsec/internal/compute"
 )
 
+// Convolution runs as a batched im2col pipeline: the whole batch
+// [N,C,H,W] is expanded into one pooled column matrix of shape
+// [C·KH·KW, N·OH·OW] (each image owns a contiguous slab of columns), and
+// each conv product — forward, input gradient, weight gradient — is one
+// matmul over that matrix instead of one per image. The batch-wide
+// matrices give the blocked matmul micro-kernel long rows to tile and
+// give ParallelFor batch-sized index spaces to partition, and all scratch
+// (column matrix, product matrix, gradient partials) comes from the
+// backend's buffer pool. The pre-batching per-image path is retained in
+// naive.go as the bit-identical reference.
+
 // ConvParams describes a 2-D convolution: kernel size, stride and symmetric
 // zero padding.
 type ConvParams struct {
@@ -28,9 +39,37 @@ func (p ConvParams) validate() {
 	}
 }
 
+// convShapes validates a conv call and returns the unpacked dimensions.
+// bias may be nil (then unchecked).
+func convShapes(name string, x, weight, bias *Tensor, p ConvParams) (n, c, h, w, f, kh, kw int) {
+	p.validate()
+	if x.Dims() != 4 || weight.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: %s needs 4-d x and weight, got %v, %v", name, x.shape, weight.shape))
+	}
+	n, c, h, w = x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	var cw int
+	f, cw, kh, kw = weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if c != cw {
+		panic(fmt.Sprintf("tensor: %s channel mismatch x=%v weight=%v", name, x.shape, weight.shape))
+	}
+	if bias != nil && !bias.ShapeEquals(f) {
+		panic(fmt.Sprintf("tensor: %s bias shape %v, want [%d]", name, bias.shape, f))
+	}
+	if p.ConvOutSize(h, kh) <= 0 || p.ConvOutSize(w, kw) <= 0 {
+		panic(fmt.Sprintf("tensor: %s non-positive output for input %v kernel %dx%d", name, x.shape, kh, kw))
+	}
+	return n, c, h, w, f, kh, kw
+}
+
+func checkGoutShape(name string, gout *Tensor, n, f, oh, ow int) {
+	if !gout.ShapeEquals(n, f, oh, ow) {
+		panic(fmt.Sprintf("tensor: %s gout shape %v, want [%d %d %d %d]", name, gout.shape, n, f, oh, ow))
+	}
+}
+
 // Im2Col expands one image [C,H,W] into a column matrix [C*KH*KW, OH*OW]
 // for convolution with kernel (kh, kw) under p. Out-of-bounds taps are
-// zero.
+// zero. It is a thin single-image wrapper over the batched expansion.
 func Im2Col(img *Tensor, kh, kw int, p ConvParams) *Tensor {
 	return Im2ColOn(nil, img, kh, kw, p)
 }
@@ -47,23 +86,36 @@ func Im2ColOn(be compute.Backend, img *Tensor, kh, kw int, p ConvParams) *Tensor
 		panic(fmt.Sprintf("tensor: Im2Col non-positive output %dx%d for input %v kernel %dx%d", oh, ow, img.shape, kh, kw))
 	}
 	col := New(c*kh*kw, oh*ow)
-	im2colInto(backendOr(be), col.data, img.data, c, h, w, kh, kw, p)
+	im2colBatchInto(backendOr(be), col.data, img.data, 1, c, h, w, kh, kw, p)
 	return col
 }
 
-// im2colInto expands img [c,h,w] into dst (len c*kh*kw*oh*ow), writing
-// every element (out-of-bounds taps become explicit zeros), so dst may be
-// a reused pooled buffer. Column-matrix rows are partitioned across
-// workers; each row is written by exactly one block.
-func im2colInto(be compute.Backend, dst, img []float64, c, h, w, kh, kw int, p ConvParams) {
+// im2colBatchInto expands the batch x [n,c,h,w] into dst, the batch-wide
+// column matrix [c*kh*kw, n*oh*ow] in which image i owns the contiguous
+// column slab [i*oh*ow, (i+1)*oh*ow). Every element is written
+// (out-of-bounds taps become explicit zeros), so dst may be a reused
+// pooled buffer. (row, image) pairs are partitioned across workers; each
+// pair's slab is written by exactly one block.
+func im2colBatchInto(be compute.Backend, dst, x []float64, n, c, h, w, kh, kw int, p ConvParams) {
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	ohow := oh * ow
 	rows := c * kh * kw
-	be.ParallelFor(rows, grainRows(oh*ow), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
+	be.ParallelFor(rows*n, grainRows(ohow), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			r, i := idx/n, idx%n
 			ci := r / (kh * kw)
 			ki := (r / kw) % kh
 			kj := r % kw
-			row := dst[r*oh*ow : (r+1)*oh*ow]
+			img := x[i*c*h*w : (i+1)*c*h*w]
+			row := dst[r*n*ohow+i*ohow : r*n*ohow+(i+1)*ohow]
+			// For stride 1 the valid ox range is a single interval and the
+			// taps are consecutive input pixels, so each output row is a
+			// zero prefix, one copy, and a zero suffix.
+			oxlo, oxhi := 0, 0
+			if p.Stride == 1 {
+				oxlo = min(ow, max(0, p.Padding-kj))
+				oxhi = max(oxlo, min(ow, w+p.Padding-kj))
+			}
 			for oy := 0; oy < oh; oy++ {
 				iy := oy*p.Stride + ki - p.Padding
 				seg := row[oy*ow : (oy+1)*ow]
@@ -74,6 +126,18 @@ func im2colInto(be compute.Backend, dst, img []float64, c, h, w, kh, kw int, p C
 					continue
 				}
 				srcRow := img[(ci*h+iy)*w : (ci*h+iy+1)*w]
+				if p.Stride == 1 {
+					for ox := 0; ox < oxlo; ox++ {
+						seg[ox] = 0
+					}
+					if oxhi > oxlo { // empty interval: src index may be out of range
+						copy(seg[oxlo:oxhi], srcRow[oxlo+kj-p.Padding:])
+					}
+					for ox := oxhi; ox < ow; ox++ {
+						seg[ox] = 0
+					}
+					continue
+				}
 				for ox := 0; ox < ow; ox++ {
 					ix := ox*p.Stride + kj - p.Padding
 					if ix >= 0 && ix < w {
@@ -102,22 +166,26 @@ func Col2ImOn(be compute.Backend, col *Tensor, c, h, w, kh, kw int, p ConvParams
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d h=%d w=%d k=%dx%d", col.shape, c, h, w, kh, kw))
 	}
 	img := New(c, h, w)
-	col2imAddInto(backendOr(be), img.data, col.data, c, h, w, kh, kw, p)
+	col2imAddInto(backendOr(be), img.data, col.data, oh*ow, c, h, w, kh, kw, p)
 	return img
 }
 
-// col2imAddInto accumulates the column matrix col into the image gradient
-// dst (len c*h*w). Overlapping taps land within a single channel, so the
+// col2imAddInto accumulates a column matrix into the image gradient dst
+// (len c*h*w). The matrix's c*kh*kw rows of length oh*ow start at
+// multiples of ldcol within col, so one image's column slab of the
+// batch-wide matrix can be scattered in place (pass ldcol = n*oh*ow and
+// col offset i*oh*ow); for a contiguous single-image matrix pass
+// ldcol = oh*ow. Overlapping taps land within a single channel, so the
 // scatter is partitioned across channels; within a channel the
 // accumulation order matches the serial kernel.
-func col2imAddInto(be compute.Backend, dst, col []float64, c, h, w, kh, kw int, p ConvParams) {
+func col2imAddInto(be compute.Backend, dst, col []float64, ldcol int, c, h, w, kh, kw int, p ConvParams) {
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
 	be.ParallelFor(c, grainRows(kh*kw*oh*ow), func(clo, chi int) {
 		for ci := clo; ci < chi; ci++ {
 			for ki := 0; ki < kh; ki++ {
 				for kj := 0; kj < kw; kj++ {
 					r := (ci*kh+ki)*kw + kj
-					src := col[r*oh*ow : (r+1)*oh*ow]
+					src := col[r*ldcol : r*ldcol+oh*ow]
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*p.Stride + ki - p.Padding
 						if iy < 0 || iy >= h {
@@ -146,45 +214,42 @@ func Conv2D(x, weight, bias *Tensor, p ConvParams) *Tensor {
 }
 
 // Conv2DOn is Conv2D on an explicit backend (nil selects the default).
-// Images are partitioned across workers and each worker draws its im2col
-// scratch matrix from the backend's buffer pool instead of allocating.
+// The whole batch is expanded into one pooled column matrix and convolved
+// with a single blocked matmul [F, C·KH·KW]·[C·KH·KW, N·OH·OW]; a final
+// scatter pass reorders the product into the [N,F,OH,OW] output layout
+// and folds in the bias. Bit-identical to the per-image reference
+// Conv2DPerImageOn.
 func Conv2DOn(be compute.Backend, x, weight, bias *Tensor, p ConvParams) *Tensor {
-	p.validate()
-	if x.Dims() != 4 || weight.Dims() != 4 {
-		panic(fmt.Sprintf("tensor: Conv2D needs 4-d x and weight, got %v, %v", x.shape, weight.shape))
-	}
-	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	f, cw, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
-	if c != cw {
-		panic(fmt.Sprintf("tensor: Conv2D channel mismatch x=%v weight=%v", x.shape, weight.shape))
-	}
-	if bias != nil && !bias.ShapeEquals(f) {
-		panic(fmt.Sprintf("tensor: Conv2D bias shape %v, want [%d]", bias.shape, f))
-	}
+	n, c, h, w, f, kh, kw := convShapes("Conv2D", x, weight, bias, p)
 	be = backendOr(be)
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
+	ohow := oh * ow
 	ckk := c * kh * kw
+	cols := n * ohow
 	wmat := weight.data // [f, ckk] row-major, same layout as the reshape
 	out := New(n, f, oh, ow)
-	be.ParallelFor(n, 1, func(lo, hi int) {
-		col := be.Get(ckk * oh * ow)
-		defer be.Put(col)
-		for i := lo; i < hi; i++ {
-			img := x.data[i*c*h*w : (i+1)*c*h*w]
-			im2colInto(be, col, img, c, h, w, kh, kw, p)
-			dst := out.data[i*f*oh*ow : (i+1)*f*oh*ow]
-			// skipZero off: the weight matrix is dense, so the zero-skip
-			// would almost never fire and its allFinite scan of the im2col
-			// buffer is pure overhead on the conv hot path.
-			matMulInto(be, dst, wmat, col, f, ckk, oh*ow, false)
+	col := be.Get(ckk * cols)
+	defer be.Put(col)
+	im2colBatchInto(be, col, x.data, n, c, h, w, kh, kw, p)
+	prod := be.Get(f * cols)
+	defer be.Put(prod)
+	clear(prod) // matMulInto accumulates; the pooled buffer is dirty
+	// skipZero off: the weight matrix is dense, so the zero-skip would
+	// almost never fire and its allFinite scan of the im2col buffer is
+	// pure overhead on the conv hot path.
+	matMulInto(be, prod, wmat, col, f, ckk, cols, false)
+	be.ParallelFor(n*f, grainRows(ohow), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			i, fi := idx/f, idx%f
+			src := prod[fi*cols+i*ohow : fi*cols+(i+1)*ohow]
+			dst := out.data[idx*ohow : (idx+1)*ohow]
 			if bias != nil {
-				for fi := 0; fi < f; fi++ {
-					b := bias.data[fi]
-					seg := dst[fi*oh*ow : (fi+1)*oh*ow]
-					for j := range seg {
-						seg[j] += b
-					}
+				bv := bias.data[fi]
+				for j, v := range src {
+					dst[j] = v + bv
 				}
+			} else {
+				copy(dst, src)
 			}
 		}
 	})
@@ -199,51 +264,55 @@ func Conv2DBackward(x, weight, gout *Tensor, p ConvParams, hasBias bool) (dx, dw
 }
 
 // Conv2DBackwardOn is Conv2DBackward on an explicit backend (nil selects
-// the default). Images are partitioned across workers: dx rows are
-// disjoint per image, while the weight gradient is computed as one pooled
-// partial product per image and merged in image order after the parallel
-// phase, so the result is independent of the partitioning.
+// the default). The batch-wide column matrix is built once and shared by
+// both gradient products: the input gradient is one blocked
+// Wᵀ·G matmul over the whole batch scattered back image by image
+// (disjoint dx rows), and the weight gradient is one pooled partial
+// product per image — computed in place on the image's column slab —
+// merged in image order after the parallel phase, so the result is
+// independent of the partitioning. Bit-identical to the per-image
+// reference Conv2DBackwardPerImageOn.
 func Conv2DBackwardOn(be compute.Backend, x, weight, gout *Tensor, p ConvParams, hasBias bool) (dx, dweight, dbias *Tensor) {
-	p.validate()
+	n, c, h, w, f, kh, kw := convShapes("Conv2DBackward", x, weight, nil, p)
 	be = backendOr(be)
-	if x.Dims() != 4 || weight.Dims() != 4 {
-		panic(fmt.Sprintf("tensor: Conv2DBackward needs 4-d x and weight, got %v, %v", x.shape, weight.shape))
-	}
-	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	f, cw, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
-	if c != cw {
-		panic(fmt.Sprintf("tensor: Conv2DBackward channel mismatch x=%v weight=%v", x.shape, weight.shape))
-	}
 	oh, ow := p.ConvOutSize(h, kh), p.ConvOutSize(w, kw)
-	if !gout.ShapeEquals(n, f, oh, ow) {
-		panic(fmt.Sprintf("tensor: Conv2DBackward gout shape %v, want [%d %d %d %d]", gout.shape, n, f, oh, ow))
-	}
+	checkGoutShape("Conv2DBackward", gout, n, f, oh, ow)
+	ohow := oh * ow
 	ckk := c * kh * kw
+	cols := n * ohow
+	chw := c * h * w
 	wmat := weight.data // [f, ckk] row-major
 	dx = New(n, c, h, w)
 	dwmat := New(f, ckk)
 	if hasBias {
 		dbias = New(f)
 	}
+	col := be.Get(ckk * cols)
+	defer be.Put(col)
+	im2colBatchInto(be, col, x.data, n, c, h, w, kh, kw, p)
+	// gbig is gout reordered to the column-matrix layout [f, n*ohow] so
+	// the input gradient is a single aᵀ·b product over the whole batch.
+	gbig := be.Get(f * cols)
+	defer be.Put(gbig)
+	be.ParallelFor(n*f, grainRows(ohow), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			i, fi := idx/f, idx%f
+			copy(gbig[fi*cols+i*ohow:fi*cols+(i+1)*ohow], gout.data[idx*ohow:(idx+1)*ohow])
+		}
+	})
+	// dcol = Wᵀ · G for the whole batch, scattered back into dx below.
+	dcol := be.Get(ckk * cols)
+	defer be.Put(dcol)
+	clear(dcol)
+	matMulATBInto(be, dcol, wmat, gbig, f, ckk, cols, false)
 	// dwPartials[i] is image i's contribution g_i·col_iᵀ, merged below.
 	dwPartials := make([][]float64, n)
 	be.ParallelFor(n, 1, func(lo, hi int) {
-		col := be.Get(ckk * oh * ow)
-		dcol := be.Get(ckk * oh * ow)
-		defer be.Put(col)
-		defer be.Put(dcol)
 		for i := lo; i < hi; i++ {
-			img := x.data[i*c*h*w : (i+1)*c*h*w]
-			im2colInto(be, col, img, c, h, w, kh, kw, p)
-			g := gout.data[i*f*oh*ow : (i+1)*f*oh*ow]
-			// dW_i = g · colᵀ into a pooled per-image partial.
+			col2imAddInto(be, dx.data[i*chw:(i+1)*chw], dcol[i*ohow:], cols, c, h, w, kh, kw, p)
 			dw := be.Get(f * ckk)
-			matMulABTInto(be, dw, g, col, f, oh*ow, ckk)
+			matMulABTInto(be, dw, gout.data[i*f*ohow:(i+1)*f*ohow], col[i*ohow:], f, ohow, ckk, cols)
 			dwPartials[i] = dw
-			// dcol = Wᵀ · g, scattered back into dx.
-			clear(dcol)
-			matMulATBInto(be, dcol, wmat, g, f, ckk, oh*ow, false)
-			col2imAddInto(be, dx.data[i*c*h*w:(i+1)*c*h*w], dcol, c, h, w, kh, kw, p)
 		}
 	})
 	for _, dw := range dwPartials {
@@ -253,18 +322,25 @@ func Conv2DBackwardOn(be compute.Backend, x, weight, gout *Tensor, p ConvParams,
 		be.Put(dw)
 	}
 	if hasBias {
-		for i := 0; i < n; i++ {
-			g := gout.data[i*f*oh*ow : (i+1)*f*oh*ow]
-			for fi := 0; fi < f; fi++ {
-				seg := g[fi*oh*ow : (fi+1)*oh*ow]
-				var s float64
-				for _, v := range seg {
-					s += v
-				}
-				dbias.data[fi] += s
-			}
-		}
+		convBiasGradInto(dbias.data, gout.data, n, f, ohow)
 	}
 	dweight = dwmat.Reshape(f, c, kh, kw)
 	return dx, dweight, dbias
+}
+
+// convBiasGradInto accumulates the bias gradient — the per-filter sum of
+// gout — serially in image order so the result does not depend on the
+// backend's partitioning.
+func convBiasGradInto(dbias, gout []float64, n, f, ohow int) {
+	for i := 0; i < n; i++ {
+		g := gout[i*f*ohow : (i+1)*f*ohow]
+		for fi := 0; fi < f; fi++ {
+			seg := g[fi*ohow : (fi+1)*ohow]
+			var s float64
+			for _, v := range seg {
+				s += v
+			}
+			dbias[fi] += s
+		}
+	}
 }

@@ -6,26 +6,66 @@ import (
 	"snnsec/internal/compute"
 )
 
+// The a·b and aᵀ·b kernels share a cache-blocked, register-tiled layout:
+// the output is cut into row blocks of asmRows rows, partitioned across
+// workers via Backend.ParallelFor, and each worker walks its rows in
+// ncBlock-column panels (panel-major, so the slab of b a panel streams is
+// reused by every row block the worker owns before moving on). Inside a
+// panel a full dense row block runs on the AVX micro-kernel when the CPU
+// has one (4 rows × 8 columns of accumulators live in ymm registers
+// across the whole k loop), and otherwise on a 2×4 scalar register tile;
+// rows containing zeros take a zero-skipping scalar path instead when
+// the finiteness gate allows it. a·bᵀ keeps a scalar 2×4 tile: its
+// reduction runs along the contiguous dimension, so vectorising it would
+// split the accumulator and change the result.
+//
+// Every output element is accumulated by a single accumulator in
+// ascending-k order in all of these paths — packed IEEE multiplies and
+// adds round lanewise exactly like the scalar instructions — so the
+// blocked kernels are bit-identical to the naive reference kernels in
+// naive.go, and Serial/Parallel backends remain bit-identical to each
+// other (row-block writes are disjoint). batched_test.go pins both
+// properties.
+const (
+	// mrTile × nrTile is the scalar register tile. 2×4 keeps the 8
+	// float64 accumulators plus the 2+4 operand temporaries within the
+	// 16-register floating-point budget of amd64 — a 4×4 tile spills
+	// accumulators to the stack every iteration.
+	mrTile = 2
+	nrTile = 4
+	// asmRows × asmCols is the AVX register tile: 4 rows × two 4-wide
+	// ymm accumulators per row, so each row has independent add chains
+	// and the loads of b amortise over four rows.
+	asmRows = 4
+	asmCols = 8
+	// ncBlock is the column-panel width: workers sweep the output in
+	// panels of at most this many columns so the k×ncBlock slab of b a
+	// panel streams stays cache-resident while every row block consumes
+	// it.
+	ncBlock = 256
+)
+
 // MatMul returns the matrix product a·b for 2-D tensors of shapes [m,k]
 // and [k,n] on the default backend.
 func MatMul(a, b *Tensor) *Tensor { return MatMulOn(nil, a, b) }
 
-// MatMulOn returns a·b computed on be (nil selects the default backend).
-// Rows of the output are partitioned across workers; the inner loops are
-// ordered i-k-j so the innermost loop streams contiguously over both b
-// and the output row.
+// MatMulOn returns a·b computed on be (nil selects the default backend)
+// using the cache-blocked micro-kernel.
 func MatMulOn(be compute.Backend, a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v x %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
-	}
+	m, k, n := matMulShapes("MatMul", a, b)
 	out := New(m, n)
 	matMulInto(backendOr(be), out.data, a.data, b.data, m, k, n, true)
 	return out
+}
+
+func matMulShapes(name string, a, b *Tensor) (m, k, n int) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2-d operands, got %v x %v", name, a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v x %v", name, a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[1]
 }
 
 // skipGate lazily decides whether the zero-skip fast path is sound. The
@@ -49,28 +89,157 @@ func (g *skipGate) skip() bool {
 	return g.ok
 }
 
+// hasZero reports whether s contains an exact zero (either sign).
+func hasZero(s []float64) bool {
+	for _, v := range s {
+		if v == 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // matMulInto accumulates a·b into dst (len m*n, caller-zeroed), reading a
-// [m,k] and b [k,n]. Rows of dst are partitioned across workers.
+// [m,k] and b [k,n]. Row blocks of dst are partitioned across workers.
 // allowSkip enables the zero-skip fast path (behind skipGate); pass false
 // when a is known dense so zero coefficients are not even tested for.
 func matMulInto(be compute.Backend, dst, a, b []float64, m, k, n int, allowSkip bool) {
-	be.ParallelFor(m, grainRows(2*k*n), func(lo, hi int) {
+	if k == 0 {
+		return
+	}
+	rblocks := (m + asmRows - 1) / asmRows
+	be.ParallelFor(rblocks, grainRows(2*k*n*asmRows), func(lo, hi int) {
 		gate := skipGate{b: b}
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := dst[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 && allowSkip && gate.skip() {
+		// Hoist the skip decision out of the micro-kernels: the gate
+		// verdict depends only on b, and skipping can only matter on rows
+		// that actually contain zeros, so zero-free row blocks take the
+		// branch-free (possibly AVX) loop. The per-(row, k) skip
+		// decisions are exactly the naive kernel's.
+		doSkip := make([]bool, hi-lo)
+		for rb := lo; rb < hi; rb++ {
+			i0 := rb * asmRows
+			ir := min(asmRows, m-i0)
+			doSkip[rb-lo] = allowSkip && hasZero(a[i0*k:(i0+ir)*k]) && gate.skip()
+		}
+		for j0 := 0; j0 < n; j0 += ncBlock {
+			jw := min(ncBlock, n-j0)
+			for rb := lo; rb < hi; rb++ {
+				i0 := rb * asmRows
+				ir := min(asmRows, m-i0)
+				if !useAVX || doSkip[rb-lo] || jw < asmCols {
+					matMulRowsGo(dst, a, b, i0, ir, j0, jw, k, n, doSkip[rb-lo])
 					continue
 				}
-				brow := b[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
+				groups := jw / asmCols
+				jA := groups * asmCols
+				i, irr := i0, ir
+				if irr >= 4 {
+					mmPanel4AVX(&dst[i*n+j0], int64(8*n),
+						&a[(i+0)*k], &a[(i+1)*k], &a[(i+2)*k], &a[(i+3)*k], 8,
+						&b[j0], int64(8*n), int64(k), int64(groups))
+					i, irr = i+4, irr-4
+				}
+				if irr >= 2 {
+					mmPanel2AVX(&dst[i*n+j0], int64(8*n),
+						&a[(i+0)*k], &a[(i+1)*k], 8,
+						&b[j0], int64(8*n), int64(k), int64(groups))
+					i, irr = i+2, irr-2
+				}
+				if irr == 1 {
+					matMulRowsGo(dst, a, b, i, 1, j0, jA, k, n, false)
+				}
+				if jA < jw {
+					matMulRowsGo(dst, a, b, i0, ir, j0+jA, jw-jA, k, n, false)
 				}
 			}
 		}
 	})
+}
+
+// matMulRowsGo covers an ir×jw sub-panel with 2×4 scalar register tiles
+// plus a single-row loop for an odd final row.
+func matMulRowsGo(dst, a, b []float64, i0, ir, j0, jw, k, n int, doSkip bool) {
+	for ; ir >= mrTile; i0, ir = i0+mrTile, ir-mrTile {
+		matMulPanel2x4(dst, a, b, i0, j0, jw, k, n, doSkip)
+	}
+	if ir == 1 {
+		arow := a[i0*k : (i0+1)*k]
+		orow := dst[i0*n+j0 : i0*n+j0+jw]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 && doSkip {
+				continue
+			}
+			brow := b[p*n+j0:]
+			for jj := range orow {
+				orow[jj] += av * brow[jj]
+			}
+		}
+	}
+}
+
+// matMulPanel2x4 runs the 2×4 scalar micro-kernel over the row pair
+// [i0, i0+2) and the column panel [j0, j0+jw). doSkip selects the
+// zero-skipping loop body; the caller has already folded the finiteness
+// gate into it, so a row's term is skipped iff its a coefficient is zero
+// — the same per-element decision the naive kernel makes.
+func matMulPanel2x4(dst, a, b []float64, i0, j0, jw, k, n int, doSkip bool) {
+	a0 := a[(i0+0)*k : (i0+1)*k]
+	a1 := a[(i0+1)*k : (i0+2)*k]
+	j := j0
+	for ; j+nrTile <= j0+jw; j += nrTile {
+		d0 := (*[nrTile]float64)(dst[(i0+0)*n+j:])
+		d1 := (*[nrTile]float64)(dst[(i0+1)*n+j:])
+		c00, c01, c02, c03 := d0[0], d0[1], d0[2], d0[3]
+		c10, c11, c12, c13 := d1[0], d1[1], d1[2], d1[3]
+		if doSkip {
+			for p := 0; p < k; p++ {
+				bv := (*[nrTile]float64)(b[p*n+j:])
+				b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+				if av := a0[p]; av != 0 {
+					c00 += av * b0
+					c01 += av * b1
+					c02 += av * b2
+					c03 += av * b3
+				}
+				if av := a1[p]; av != 0 {
+					c10 += av * b0
+					c11 += av * b1
+					c12 += av * b2
+					c13 += av * b3
+				}
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				bv := (*[nrTile]float64)(b[p*n+j:])
+				av0, av1 := a0[p], a1[p]
+				c00 += av0 * bv[0]
+				c01 += av0 * bv[1]
+				c02 += av0 * bv[2]
+				c03 += av0 * bv[3]
+				c10 += av1 * bv[0]
+				c11 += av1 * bv[1]
+				c12 += av1 * bv[2]
+				c13 += av1 * bv[3]
+			}
+		}
+		d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
+		d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
+	}
+	for ; j < j0+jw; j++ {
+		// Column fringe: one dst column, same ascending-k accumulation.
+		c0, c1 := dst[(i0+0)*n+j], dst[(i0+1)*n+j]
+		for p := 0; p < k; p++ {
+			bv := b[p*n+j]
+			if av := a0[p]; !doSkip || av != 0 {
+				c0 += av * bv
+			}
+			if av := a1[p]; !doSkip || av != 0 {
+				c1 += av * bv
+			}
+		}
+		dst[(i0+0)*n+j], dst[(i0+1)*n+j] = c0, c1
+	}
 }
 
 // MatMulATB returns aᵀ·b for a of shape [k,m] and b of shape [k,n],
@@ -78,7 +247,7 @@ func matMulInto(be compute.Backend, dst, a, b []float64, m, k, n int, allowSkip 
 func MatMulATB(a, b *Tensor) *Tensor { return MatMulATBOn(nil, a, b) }
 
 // MatMulATBOn returns aᵀ·b computed on be (nil selects the default
-// backend).
+// backend) using the cache-blocked micro-kernel.
 func MatMulATBOn(be compute.Backend, a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulATB needs 2-d operands, got %v x %v", a.shape, b.shape))
@@ -94,26 +263,152 @@ func MatMulATBOn(be compute.Backend, a, b *Tensor) *Tensor {
 }
 
 // matMulATBInto accumulates aᵀ·b into dst (len m*n, caller-zeroed) for a
-// [k,m] and b [k,n]. Output rows (columns of a) are partitioned across
-// workers; each element accumulates over p in ascending order regardless
-// of partitioning. allowSkip follows the same contract as matMulInto.
+// [k,m] and b [k,n]. Row blocks of dst (column blocks of a) are
+// partitioned across workers; each element accumulates over p in
+// ascending order regardless of partitioning. allowSkip follows the same
+// contract as matMulInto. The AVX micro-kernel is shared with matMulInto:
+// only the stepping of the a pointers differs (down a column of a instead
+// of along a row).
 func matMulATBInto(be compute.Backend, dst, a, b []float64, k, m, n int, allowSkip bool) {
-	be.ParallelFor(m, grainRows(2*k*n), func(lo, hi int) {
+	if k == 0 {
+		return
+	}
+	rblocks := (m + asmRows - 1) / asmRows
+	be.ParallelFor(rblocks, grainRows(2*k*n*asmRows), func(lo, hi int) {
 		gate := skipGate{b: b}
-		for i := lo; i < hi; i++ {
-			orow := dst[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a[p*m+i]
-				if av == 0 && allowSkip && gate.skip() {
+		doSkip := make([]bool, hi-lo)
+		for rb := lo; rb < hi; rb++ {
+			i0 := rb * asmRows
+			ir := min(asmRows, m-i0)
+			anyZero := false
+			if allowSkip {
+			scan:
+				for p := 0; p < k; p++ {
+					for i := i0; i < i0+ir; i++ {
+						if a[p*m+i] == 0 {
+							anyZero = true
+							break scan
+						}
+					}
+				}
+			}
+			doSkip[rb-lo] = anyZero && gate.skip()
+		}
+		for j0 := 0; j0 < n; j0 += ncBlock {
+			jw := min(ncBlock, n-j0)
+			for rb := lo; rb < hi; rb++ {
+				i0 := rb * asmRows
+				ir := min(asmRows, m-i0)
+				if !useAVX || doSkip[rb-lo] || jw < asmCols {
+					matMulATBRowsGo(dst, a, b, i0, ir, j0, jw, k, m, n, doSkip[rb-lo])
 					continue
 				}
-				brow := b[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
+				groups := jw / asmCols
+				jA := groups * asmCols
+				i, irr := i0, ir
+				if irr >= 4 {
+					mmPanel4AVX(&dst[i*n+j0], int64(8*n),
+						&a[i], &a[i+1], &a[i+2], &a[i+3], int64(8*m),
+						&b[j0], int64(8*n), int64(k), int64(groups))
+					i, irr = i+4, irr-4
+				}
+				if irr >= 2 {
+					mmPanel2AVX(&dst[i*n+j0], int64(8*n),
+						&a[i], &a[i+1], int64(8*m),
+						&b[j0], int64(8*n), int64(k), int64(groups))
+					i, irr = i+2, irr-2
+				}
+				if irr == 1 {
+					matMulATBRowsGo(dst, a, b, i, 1, j0, jA, k, m, n, false)
+				}
+				if jA < jw {
+					matMulATBRowsGo(dst, a, b, i0, ir, j0+jA, jw-jA, k, m, n, false)
 				}
 			}
 		}
 	})
+}
+
+// matMulATBRowsGo covers an ir×jw sub-panel with 2×4 scalar register
+// tiles plus a single-row loop for an odd final row.
+func matMulATBRowsGo(dst, a, b []float64, i0, ir, j0, jw, k, m, n int, doSkip bool) {
+	for ; ir >= mrTile; i0, ir = i0+mrTile, ir-mrTile {
+		matMulATBPanel2x4(dst, a, b, i0, j0, jw, k, m, n, doSkip)
+	}
+	if ir == 1 {
+		orow := dst[i0*n+j0 : i0*n+j0+jw]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i0]
+			if av == 0 && doSkip {
+				continue
+			}
+			brow := b[p*n+j0:]
+			for jj := range orow {
+				orow[jj] += av * brow[jj]
+			}
+		}
+	}
+}
+
+// matMulATBPanel2x4 is the 2×4 scalar micro-kernel of matMulATBInto: the
+// two a coefficients of a step are adjacent in memory (a row-major row of
+// a), so both operand loads are unit-stride.
+func matMulATBPanel2x4(dst, a, b []float64, i0, j0, jw, k, m, n int, doSkip bool) {
+	j := j0
+	for ; j+nrTile <= j0+jw; j += nrTile {
+		d0 := (*[nrTile]float64)(dst[(i0+0)*n+j:])
+		d1 := (*[nrTile]float64)(dst[(i0+1)*n+j:])
+		c00, c01, c02, c03 := d0[0], d0[1], d0[2], d0[3]
+		c10, c11, c12, c13 := d1[0], d1[1], d1[2], d1[3]
+		if doSkip {
+			for p := 0; p < k; p++ {
+				av := (*[mrTile]float64)(a[p*m+i0:])
+				bv := (*[nrTile]float64)(b[p*n+j:])
+				b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+				if v := av[0]; v != 0 {
+					c00 += v * b0
+					c01 += v * b1
+					c02 += v * b2
+					c03 += v * b3
+				}
+				if v := av[1]; v != 0 {
+					c10 += v * b0
+					c11 += v * b1
+					c12 += v * b2
+					c13 += v * b3
+				}
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				av := (*[mrTile]float64)(a[p*m+i0:])
+				bv := (*[nrTile]float64)(b[p*n+j:])
+				v0, v1 := av[0], av[1]
+				c00 += v0 * bv[0]
+				c01 += v0 * bv[1]
+				c02 += v0 * bv[2]
+				c03 += v0 * bv[3]
+				c10 += v1 * bv[0]
+				c11 += v1 * bv[1]
+				c12 += v1 * bv[2]
+				c13 += v1 * bv[3]
+			}
+		}
+		d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
+		d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
+	}
+	for ; j < j0+jw; j++ {
+		c0, c1 := dst[(i0+0)*n+j], dst[(i0+1)*n+j]
+		for p := 0; p < k; p++ {
+			bv := b[p*n+j]
+			if v := a[p*m+i0]; !doSkip || v != 0 {
+				c0 += v * bv
+			}
+			if v := a[p*m+i0+1]; !doSkip || v != 0 {
+				c1 += v * bv
+			}
+		}
+		dst[(i0+0)*n+j], dst[(i0+1)*n+j] = c0, c1
+	}
 }
 
 // MatMulABT returns a·bᵀ for a of shape [m,k] and b of shape [n,k],
@@ -121,7 +416,7 @@ func matMulATBInto(be compute.Backend, dst, a, b []float64, k, m, n int, allowSk
 func MatMulABT(a, b *Tensor) *Tensor { return MatMulABTOn(nil, a, b) }
 
 // MatMulABTOn returns a·bᵀ computed on be (nil selects the default
-// backend).
+// backend) using the cache-blocked micro-kernel.
 func MatMulABTOn(be compute.Backend, a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulABT needs 2-d operands, got %v x %v", a.shape, b.shape))
@@ -132,27 +427,79 @@ func MatMulABTOn(be compute.Backend, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulABT dimension mismatch %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matMulABTInto(backendOr(be), out.data, a.data, b.data, m, k, n)
+	matMulABTInto(backendOr(be), out.data, a.data, b.data, m, k, n, k)
 	return out
 }
 
-// matMulABTInto writes a·bᵀ into dst (len m*n) for a [m,k] and b [n,k].
-// Each dst element is one dot product, so no accumulation crosses blocks.
-func matMulABTInto(be compute.Backend, dst, a, b []float64, m, k, n int) {
-	be.ParallelFor(m, grainRows(2*k*n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := dst[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b[j*k : (j+1)*k]
-				var s float64
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
+// matMulABTInto writes a·bᵀ into dst (len m*n, contents overwritten) for
+// a [m,k] and b whose n rows of length k start at multiples of ldb
+// (pass ldb = k for a contiguous b). Each dst element is one ascending-k
+// dot product, so no accumulation crosses tiles. The ldb parameter lets
+// the batched conv weight-gradient run directly on one image's column
+// slab of the batch-wide im2col matrix without copying it out.
+func matMulABTInto(be compute.Backend, dst, a, b []float64, m, k, n, ldb int) {
+	rblocks := (m + mrTile - 1) / mrTile
+	be.ParallelFor(rblocks, grainRows(2*k*n*mrTile), func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			i0 := rb * mrTile
+			if m-i0 < mrTile {
+				matMulABTPanelEdge(dst, a, b, i0, m-i0, 0, n, k, n, ldb)
+				continue
 			}
+			matMulABTPanel2x4(dst, a, b, i0, k, n, ldb)
 		}
 	})
+}
+
+// matMulABTPanel2x4 computes two full dst rows with a 2×4 register tile;
+// all six operand streams advance unit-stride in k.
+func matMulABTPanel2x4(dst, a, b []float64, i0, k, n, ldb int) {
+	a0 := a[(i0+0)*k : (i0+1)*k]
+	a1 := a[(i0+1)*k : (i0+2)*k]
+	j := 0
+	for ; j+nrTile <= n; j += nrTile {
+		b0 := b[(j+0)*ldb : (j+0)*ldb+k]
+		b1 := b[(j+1)*ldb : (j+1)*ldb+k]
+		b2 := b[(j+2)*ldb : (j+2)*ldb+k]
+		b3 := b[(j+3)*ldb : (j+3)*ldb+k]
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		for p := 0; p < k; p++ {
+			av0, av1 := a0[p], a1[p]
+			bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+			c00 += av0 * bv0
+			c01 += av0 * bv1
+			c02 += av0 * bv2
+			c03 += av0 * bv3
+			c10 += av1 * bv0
+			c11 += av1 * bv1
+			c12 += av1 * bv2
+			c13 += av1 * bv3
+		}
+		d0 := (*[nrTile]float64)(dst[(i0+0)*n+j:])
+		d1 := (*[nrTile]float64)(dst[(i0+1)*n+j:])
+		d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
+		d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
+	}
+	if j < n {
+		matMulABTPanelEdge(dst, a, b, i0, mrTile, j, n-j, k, n, ldb)
+	}
+}
+
+// matMulABTPanelEdge is the fringe loop of matMulABTInto.
+func matMulABTPanelEdge(dst, a, b []float64, i0, ir, j0, jw, k, n, ldb int) {
+	for i := i0; i < i0+ir; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n+j0 : i*n+j0+jw]
+		for jj := range orow {
+			brow := b[(j0+jj)*ldb : (j0+jj)*ldb+k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[jj] = s
+		}
+	}
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.

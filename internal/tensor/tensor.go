@@ -3,6 +3,16 @@
 // reductions) that back the autodiff engine. Tensors are row-major and
 // always contiguous; views are not shared except through explicit Reshape,
 // which reuses the underlying data slice.
+//
+// The hot kernels are written for CPU throughput without giving up exact
+// reproducibility: matmuls are cache-blocked and register-tiled (with an
+// AVX micro-kernel on amd64), convolution expands the whole batch into
+// one pooled im2col matrix and runs one matmul per batch, and every
+// kernel partitions its work through a compute.Backend. All of it is
+// bit-identical — across the Serial and Parallel backends, across the
+// scalar and AVX tiles, and against the straightforward reference
+// kernels retained in naive.go. See DESIGN.md for the blocking scheme
+// and the determinism contract.
 package tensor
 
 import (

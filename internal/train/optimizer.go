@@ -1,6 +1,11 @@
 // Package train provides optimisers (SGD, momentum, Adam), learning-rate
 // schedules, the minibatch training loop and evaluation metrics used to
 // train both the CNN baseline and the spiking networks of the paper.
+//
+// The training loop is batch-oriented end to end: each minibatch is one
+// tape (one batched forward/backward over all of its images on the
+// configured compute backend), so BatchSize is both the SGD batch and
+// the unit of kernel-level work.
 package train
 
 import (
