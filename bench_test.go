@@ -557,6 +557,117 @@ func benchSNNBPTTStep(b *testing.B, be compute.Backend) {
 func BenchmarkSNNBPTTStepSerial(b *testing.B)   { benchSNNBPTTStep(b, compute.NewSerial()) }
 func BenchmarkSNNBPTTStepParallel(b *testing.B) { benchSNNBPTTStep(b, compute.NewParallel(0)) }
 
+// ---------------------------------------------------------------------------
+// Spike-plane engine benchmarks: the bit-packed select-accumulate
+// kernels against the dense micro-kernels they replace, on identical
+// binary inputs, across spike densities — and end-to-end through the
+// BPTT loop of a pooling-free spiking network whose every synapse is
+// spike-fed.
+
+// binaryMatrix returns a deterministic 0/1 matrix of the given density.
+func binaryMatrix(seed uint64, density float64, m, k int) *tensor.Tensor {
+	u := tensor.RandU(tensor.NewRand(seed, 0x51), 0, 1, m, k)
+	d := u.Data()
+	for i, v := range d {
+		if v < density {
+			d[i] = 1
+		} else {
+			d[i] = 0
+		}
+	}
+	return u
+}
+
+func benchSpikeMatMul256(b *testing.B, density float64, sparse bool) {
+	a := binaryMatrix(14, density, 256, 256)
+	y := tensor.RandN(tensor.NewRand(15, 15), 0, 1, 256, 256)
+	sp := tensor.PackSpikes(a)
+	ser := compute.NewSerial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sparse {
+			tensor.SpikeMatMulOn(ser, sp, y)
+		} else {
+			tensor.MatMulOn(ser, a, y)
+		}
+	}
+}
+
+func BenchmarkSpikeMatMul256d10Dense(b *testing.B)  { benchSpikeMatMul256(b, 0.1, false) }
+func BenchmarkSpikeMatMul256d10Sparse(b *testing.B) { benchSpikeMatMul256(b, 0.1, true) }
+func BenchmarkSpikeMatMul256d50Dense(b *testing.B)  { benchSpikeMatMul256(b, 0.5, false) }
+func BenchmarkSpikeMatMul256d50Sparse(b *testing.B) { benchSpikeMatMul256(b, 0.5, true) }
+
+// newSpikeBenchNet builds a pooling-free spiking LeNet variant
+// (stride-2 convolutions downsample instead of average pooling), so
+// every synapse input is a binary plane and the whole T-step loop runs
+// in packed form. Vth = 1.5 keeps the hidden spike rates at ~2% on
+// this fixture — the sparse regime of the paper's grid corners, well
+// inside the ≤10% density the acceptance gate names; the measured rate
+// is recorded as spike_bptt_density when SNNSEC_WRITE_BENCH runs.
+func newSpikeBenchNet() *snn.Network {
+	r := tensor.NewRand(16, 0x5b1e)
+	cfg := snn.NeuronConfig{Vth: 1.5, Alpha: 0.9, Reset: snn.ResetZero, Surrogate: snn.FastSigmoid{Beta: 25}}
+	return &snn.Network{
+		Encoder: snn.NewPoissonEncoder(1, 17, 0xe4),
+		Hidden: []snn.Layer{
+			{Syn: nn.NewConv2D(r, 1, 6, 5, 2, 2), Cfg: cfg},
+			{Syn: nn.NewConv2D(r, 6, 12, 3, 2, 1), Cfg: cfg},
+			{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, 12*4*4, 48)), Cfg: cfg},
+		},
+		Readout:    nn.NewLinear(r, 48, core.NumClasses),
+		ReadoutCfg: cfg,
+		Mode:       snn.ReadoutSpikeCount,
+		T:          12,
+		LogitScale: 10,
+	}
+}
+
+// spikeBenchInput: intensities in [0, 0.2], so the Poisson front end
+// fires at ≤ 10% density.
+func spikeBenchInput() *tensor.Tensor {
+	return tensor.RandU(tensor.NewRand(18, 18), 0, 0.2, 32, 1, 16, 16)
+}
+
+func benchSpikeSNNBPTTStep(b *testing.B, spikeKernels bool) {
+	autodiff.SetSpikeKernels(spikeKernels)
+	defer autodiff.SetSpikeKernels(true)
+	net := newSpikeBenchNet()
+	x := spikeBenchInput()
+	labels := make([]int, x.Dim(0))
+	for i := range labels {
+		labels[i] = i % core.NumClasses
+	}
+	be := compute.NewSerial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range net.Params() {
+			p.ZeroGrad()
+		}
+		tp := autodiff.NewTapeOn(be)
+		loss := tp.SoftmaxCrossEntropy(net.Logits(tp, tp.Const(x)), labels)
+		tp.Backward(loss)
+	}
+}
+
+func BenchmarkSpikeSNNBPTTStepDenseKernels(b *testing.B) { benchSpikeSNNBPTTStep(b, false) }
+func BenchmarkSpikeSNNBPTTStepSpikeKernels(b *testing.B) { benchSpikeSNNBPTTStep(b, true) }
+
+// spikeBPTTDensity reports the mean hidden spike rate of the sparse
+// BPTT fixture, recorded into the bench JSON so the "≤10% density"
+// claim on the SNNBPTTStep pair is checkable.
+func spikeBPTTDensity() float64 {
+	net := newSpikeBenchNet()
+	net.Record = &snn.Trace{}
+	tp := autodiff.NewTape()
+	net.Logits(tp, tp.Const(spikeBenchInput()))
+	sum := 0.0
+	for _, r := range net.Record.SpikeRates {
+		sum += r
+	}
+	return sum / float64(len(net.Record.SpikeRates))
+}
+
 // BENCH_compute.json schema: one history record per PR, appended (never
 // overwritten) by TestWriteComputeBenchJSON, so the perf trajectory of
 // the compute layer is reviewable across the stack. Each benchmark pair
@@ -572,9 +683,13 @@ type benchPairEntry struct {
 }
 
 type benchRecord struct {
-	Label      string           `json:"label"`
-	NumCPU     int              `json:"numcpu"`
-	Benchmarks []benchPairEntry `json:"benchmarks"`
+	Label  string `json:"label"`
+	NumCPU int    `json:"numcpu"`
+	// SpikeBPTTDensity is the measured mean hidden spike rate of the
+	// sparse SNNBPTTStep fixture, recorded so the density regime of the
+	// dense-vs-spike pair is auditable (0 for records predating it).
+	SpikeBPTTDensity float64          `json:"spike_bptt_density,omitempty"`
+	Benchmarks       []benchPairEntry `json:"benchmarks"`
 }
 
 type benchDoc struct {
@@ -583,11 +698,12 @@ type benchDoc struct {
 }
 
 // TestWriteComputeBenchJSON appends this PR's kernel-timing record to
-// BENCH_compute.json: serial-vs-parallel for each kernel, plus the
-// per-image-vs-batched conv pipeline and naive-vs-blocked matmul pairs.
-// A record with the same label (SNNSEC_BENCH_LABEL, default "PR 2") is
-// replaced; other PRs' records are preserved. It only runs when
-// SNNSEC_WRITE_BENCH is set:
+// BENCH_compute.json: serial-vs-parallel for each kernel, the
+// per-image-vs-batched conv pipeline and naive-vs-blocked matmul pairs,
+// and the dense-vs-sparse spike-kernel pairs (density sweep plus the
+// end-to-end sparse BPTT step). A record with the same label
+// (SNNSEC_BENCH_LABEL, default "PR 3") is replaced; other PRs' records
+// are preserved. It only runs when SNNSEC_WRITE_BENCH is set:
 //
 //	SNNSEC_WRITE_BENCH=1 go test -run TestWriteComputeBenchJSON
 func TestWriteComputeBenchJSON(t *testing.T) {
@@ -597,6 +713,12 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 	ser, par := compute.NewSerial(), compute.NewParallel(0)
 	onBe := func(fn func(*testing.B, compute.Backend), be compute.Backend) func(*testing.B) {
 		return func(b *testing.B) { fn(b, be) }
+	}
+	atDensity := func(density float64, sparse bool) func(*testing.B) {
+		return func(b *testing.B) { benchSpikeMatMul256(b, density, sparse) }
+	}
+	spikeBPTT := func(spikeKernels bool) func(*testing.B) {
+		return func(b *testing.B) { benchSpikeSNNBPTTStep(b, spikeKernels) }
 	}
 	pairs := []struct {
 		name, baseline, candidate string
@@ -608,12 +730,20 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 		{"MatMul256", "naive", "blocked", onBe(benchMatMul256Naive, ser), onBe(benchMatMul256, ser)},
 		{"ConvForwardBatch32", "per-image", "batched", onBe(benchConvForwardBatch32PerImage, ser), onBe(benchConvForwardBatch32, ser)},
 		{"ConvBackwardBatch32", "per-image", "batched", onBe(benchConvBackwardBatch32PerImage, ser), onBe(benchConvBackwardBatch32, ser)},
+		// Spike-plane engine (PR 3): dense micro-kernel vs bit-packed
+		// select-accumulate on identical binary operands, across the
+		// density sweep, and end-to-end through the BPTT loop of the
+		// pooling-free spiking net (single core; ≤10% spike density —
+		// see spike_bptt_density).
+		{"SpikeMatMul256d10", "dense", "sparse", atDensity(0.1, false), atDensity(0.1, true)},
+		{"SpikeMatMul256d50", "dense", "sparse", atDensity(0.5, false), atDensity(0.5, true)},
+		{"SNNBPTTStepSparse", "dense-kernels", "spike-kernels", spikeBPTT(false), spikeBPTT(true)},
 	}
 	label := os.Getenv("SNNSEC_BENCH_LABEL")
 	if label == "" {
-		label = "PR 2"
+		label = "PR 3"
 	}
-	rec := benchRecord{Label: label, NumCPU: runtime.NumCPU()}
+	rec := benchRecord{Label: label, NumCPU: runtime.NumCPU(), SpikeBPTTDensity: spikeBPTTDensity()}
 	for _, p := range pairs {
 		base := testing.Benchmark(p.base)
 		cand := testing.Benchmark(p.cand)

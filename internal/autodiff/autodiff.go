@@ -41,12 +41,23 @@ type Value struct {
 	// node has been consumed by another operation.
 	Data *tensor.Tensor
 	// Grad accumulates dLoss/dData during Backward. It is nil for
-	// constants and lazily allocated for interior nodes.
+	// constants and lazily allocated for interior nodes. Interior-node
+	// gradient buffers are drawn from the backend's buffer pool and
+	// released as soon as Backward has run the node's pullback, so they
+	// must not be read after Backward returns — read gradients through
+	// leaves (Leaf/Var), whose buffers are caller-owned.
 	Grad *tensor.Tensor
 
 	requiresGrad bool
 	back         func()
 	tape         *Tape
+	// spikes is the bit-packed form of a binary 0/1 Data plane (spike
+	// activations); nil for ordinary dense values. Operations consuming
+	// the value use it to select the multiply-free spike kernels.
+	spikes *tensor.SpikeTensor
+	// gradPooled marks a Grad whose backing buffer came from the
+	// backend pool and is returned to it during Backward.
+	gradPooled bool
 }
 
 // NewTape returns an empty tape bound to the default compute backend.
@@ -104,10 +115,40 @@ func (v *Value) RequiresGrad() bool { return v.requiresGrad }
 // Shape returns the shape of the node's data.
 func (v *Value) Shape() []int { return v.Data.Shape() }
 
-// ensureGrad lazily allocates the gradient buffer of an interior node.
+// Spikes returns the bit-packed form of a binary spike value, or nil
+// for ordinary dense values.
+func (v *Value) Spikes() *tensor.SpikeTensor { return v.spikes }
+
+// AttachSpikes binds the packed spike-plane form of v's data, letting
+// downstream MatMul/Conv2D calls take the multiply-free spike kernels.
+// s must pack exactly the 0/1 contents of v.Data (the spike kernels are
+// bit-identical to the dense ones only under that contract); producers
+// that compute spikes — the LIF/ALIF threshold steps, the spike
+// encoders — attach the packed plane they built alongside the dense
+// view.
+func (v *Value) AttachSpikes(s *tensor.SpikeTensor) {
+	if s.Len() != v.Data.Len() || s.Dim(0) != v.Data.Dim(0) {
+		panic(fmt.Sprintf("autodiff: AttachSpikes shape %v does not match data %v", s.Shape(), v.Data.Shape()))
+	}
+	v.spikes = s
+}
+
+// ensureGrad lazily allocates the gradient buffer. Interior nodes (those
+// with a pullback) draw the buffer from the tape's backend pool — the
+// per-step workspace of the BPTT loop — and Backward returns it to the
+// pool right after the node's pullback has consumed it, so a T-step
+// unrolled network recycles a handful of buffers instead of allocating
+// one per recorded operation. Leaves keep their caller-owned buffers.
 func (v *Value) ensureGrad() *tensor.Tensor {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Shape()...)
+		if v.back != nil {
+			buf := v.tape.Backend().Get(v.Data.Len())
+			clear(buf) // pooled buffers are dirty; gradients accumulate
+			v.Grad = tensor.FromSlice(buf, v.Data.Shape()...)
+			v.gradPooled = true
+		} else {
+			v.Grad = tensor.New(v.Data.Shape()...)
+		}
 	}
 	return v.Grad
 }
@@ -162,10 +203,28 @@ func (tp *Tape) Backward(root *Value) {
 		return // nothing differentiable upstream
 	}
 	root.ensureGrad().Fill(1)
+	tp.runBackward()
+}
+
+// runBackward walks the tape in reverse, running each pullback, and
+// returns every pooled interior gradient buffer to the backend pool the
+// moment its node's pullback has consumed it: parents always precede
+// their children on the tape, so once node i's pullback has run, no
+// later step reads its gradient. This is the workspace arena of the
+// BPTT loop — peak gradient memory is the live frontier of the graph,
+// not the whole unrolled tape, and the recycled buffers stay
+// cache-warm across timesteps.
+func (tp *Tape) runBackward() {
+	be := tp.Backend()
 	for i := len(tp.nodes) - 1; i >= 0; i-- {
 		n := tp.nodes[i]
 		if n.back != nil && n.Grad != nil {
 			n.back()
+		}
+		if n.gradPooled {
+			be.Put(n.Grad.Data())
+			n.Grad = nil
+			n.gradPooled = false
 		}
 	}
 }
@@ -181,10 +240,5 @@ func (tp *Tape) BackwardWithSeed(root *Value, seed *tensor.Tensor) {
 		return
 	}
 	tensor.AddIntoOn(tp.Backend(), root.ensureGrad(), seed)
-	for i := len(tp.nodes) - 1; i >= 0; i-- {
-		n := tp.nodes[i]
-		if n.back != nil && n.Grad != nil {
-			n.back()
-		}
-	}
+	tp.runBackward()
 }

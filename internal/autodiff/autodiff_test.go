@@ -379,6 +379,89 @@ func TestLeafShapeMismatchPanics(t *testing.T) {
 	tp.Leaf(tensor.New(2), tensor.New(3))
 }
 
+// TestInteriorGradBuffersReleased pins the backward workspace arena:
+// interior-node gradient buffers are pooled and released once Backward
+// has consumed them, while leaf gradients stay in their caller-owned
+// buffers.
+func TestInteriorGradBuffersReleased(t *testing.T) {
+	tp := NewTape()
+	x := tp.Var(tensor.FromSlice([]float64{1, 2}, 2))
+	y := tp.Mul(x, x) // interior
+	s := tp.Sum(y)    // interior root
+	tp.Backward(s)
+	if y.Grad != nil || s.Grad != nil {
+		t.Error("interior gradients were retained after Backward")
+	}
+	if !x.Grad.AllClose(tensor.FromSlice([]float64{2, 4}, 2), 1e-12) {
+		t.Errorf("leaf grad = %v, want 2x", x.Grad)
+	}
+}
+
+// TestSpikeMatMulDispatch: a value carrying a packed spike plane must
+// produce the same forward result and the same gradients as the dense
+// path — the dispatch is a pure kernel substitution.
+func TestSpikeMatMulDispatch(t *testing.T) {
+	r := tensor.NewRand(41, 43)
+	spikes := tensor.New(3, 5)
+	for i := 0; i < spikes.Len(); i += 2 {
+		spikes.Data()[i] = 1
+	}
+	w := tensor.RandN(r, 0, 1, 5, 4)
+	seed := tensor.RandN(r, 0, 1, 3, 4)
+
+	run := func(attach bool) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+		tp := NewTape()
+		a := tp.Var(spikes.Clone())
+		if attach {
+			a.AttachSpikes(tensor.PackSpikes(a.Data))
+		}
+		wv := tp.Var(w.Clone())
+		out := tp.MatMul(a, wv)
+		tp.BackwardWithSeed(out, seed)
+		return out.Data, a.Grad, wv.Grad
+	}
+	denseOut, denseDA, denseDW := run(false)
+	spikeOut, spikeDA, spikeDW := run(true)
+	if !denseOut.AllClose(spikeOut, 0) {
+		t.Error("spike MatMul forward differs from dense")
+	}
+	if !denseDA.AllClose(spikeDA, 0) || !denseDW.AllClose(spikeDW, 0) {
+		t.Error("spike MatMul gradients differ from dense")
+	}
+
+	SetSpikeKernels(false)
+	defer SetSpikeKernels(true)
+	if SpikeKernelsEnabled() {
+		t.Fatal("SetSpikeKernels(false) not observed")
+	}
+	offOut, offDA, offDW := run(true)
+	if !denseOut.AllClose(offOut, 0) || !denseDA.AllClose(offDA, 0) || !denseDW.AllClose(offDW, 0) {
+		t.Error("disabled spike dispatch changed results")
+	}
+}
+
+// TestSpikePlaneSurvivesFlatten: Reshape keeping the batch dimension
+// must carry the packed plane through, so a post-Flatten Linear still
+// takes the spike kernels.
+func TestSpikePlaneSurvivesFlatten(t *testing.T) {
+	tp := NewTape()
+	x := tensor.New(2, 3, 4)
+	x.Data()[0], x.Data()[13] = 1, 1
+	v := tp.Const(x)
+	v.AttachSpikes(tensor.PackSpikes(x))
+	flat := tp.Reshape(v, 2, 12)
+	if flat.Spikes() == nil {
+		t.Fatal("packed spike plane lost through batch-preserving reshape")
+	}
+	if !flat.Spikes().Dense().AllClose(x.Reshape(2, 12), 0) {
+		t.Fatal("reshaped spike plane does not match the dense view")
+	}
+	// A reshape that changes the leading dimension must drop the plane.
+	if tp.Reshape(v, 6, 4).Spikes() != nil {
+		t.Fatal("packed spike plane survived a batch-changing reshape")
+	}
+}
+
 // Property: gradient of sum(x) is all-ones for any shape.
 func TestSumGradProperty(t *testing.T) {
 	f := func(seed uint64) bool {

@@ -3,9 +3,27 @@ package autodiff
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"snnsec/internal/tensor"
 )
+
+// spikeKernelsOff disables the spike-plane kernel dispatch when set (the
+// default is on). The zero value means enabled so the fast path needs no
+// init; the inverted sense keeps the hot-path load branch-predictable.
+var spikeKernelsOff atomic.Bool
+
+// SetSpikeKernels toggles the bit-packed spike kernel dispatch
+// process-wide. MatMul and Conv2D consult it when they record an
+// operation whose input carries a packed spike plane; recorded
+// pullbacks keep the dispatch they were recorded with. The spike
+// kernels are bit-identical to the dense ones, so this switch exists
+// for benchmarking the engine against its dense baseline in one
+// process, not for correctness.
+func SetSpikeKernels(enabled bool) { spikeKernelsOff.Store(!enabled) }
+
+// SpikeKernelsEnabled reports whether spike kernel dispatch is active.
+func SpikeKernelsEnabled() bool { return !spikeKernelsOff.Load() }
 
 // Add returns a + b elementwise.
 func (tp *Tape) Add(a, b *Value) *Value {
@@ -50,13 +68,30 @@ func (tp *Tape) AddScalar(a *Value, s float64) *Value {
 	}, a)
 }
 
-// MatMul returns the matrix product a·b of 2-D values.
+// MatMul returns the matrix product a·b of 2-D values. When a carries a
+// packed spike plane (a binary LIF/encoder output), both the product
+// and the weight-gradient pullback run the multiply-free
+// select-accumulate kernels — bit-identical to the dense kernels, so
+// the choice never changes a result.
 func (tp *Tape) MatMul(a, b *Value) *Value {
-	out := tensor.MatMulOn(tp.Backend(), a.Data, b.Data)
+	sp := a.spikes
+	if spikeKernelsOff.Load() {
+		sp = nil
+	}
+	var out *tensor.Tensor
+	if sp != nil {
+		out = tensor.SpikeMatMulOn(tp.Backend(), sp, b.Data)
+	} else {
+		out = tensor.MatMulOn(tp.Backend(), a.Data, b.Data)
+	}
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		// dA = g·Bᵀ, dB = Aᵀ·g
 		a.AccumGrad(tensor.MatMulABTOn(tp.Backend(), g, b.Data))
-		b.AccumGrad(tensor.MatMulATBOn(tp.Backend(), a.Data, g))
+		if sp != nil {
+			b.AccumGrad(tensor.SpikeMatMulATBOn(tp.Backend(), sp, g))
+		} else {
+			b.AccumGrad(tensor.MatMulATBOn(tp.Backend(), a.Data, g))
+		}
 	}, a, b)
 }
 
@@ -70,13 +105,19 @@ func (tp *Tape) AddRowVector(a, v *Value) *Value {
 }
 
 // Reshape returns a view of a with a new shape. The gradient is reshaped
-// back on the way down.
+// back on the way down. A packed spike plane survives any reshape that
+// preserves the leading (batch) dimension — e.g. Flatten — so the BPTT
+// loop stays in packed form across layer-shape changes.
 func (tp *Tape) Reshape(a *Value, shape ...int) *Value {
 	out := a.Data.Reshape(shape...)
 	inShape := a.Data.Shape()
-	return tp.NewOp(out, func(g *tensor.Tensor) {
+	v := tp.NewOp(out, func(g *tensor.Tensor) {
 		a.AccumGrad(g.Reshape(inShape...))
 	}, a)
+	if a.spikes != nil && out.Dim(0) == a.Data.Dim(0) {
+		v.spikes = a.spikes.Reshape(out.Shape()...)
+	}
+	return v
 }
 
 // ReLU returns max(a, 0) elementwise.
@@ -129,19 +170,42 @@ func (tp *Tape) Tanh(a *Value) *Value {
 // Conv2D returns the batched 2-D convolution of x [N,C,H,W] with weight
 // [F,C,KH,KW] and optional bias [F] (pass nil for no bias). Forward and
 // pullback both run the batched im2col pipeline: one matmul over the
-// whole batch per product, on the tape's backend.
+// whole batch per product, on the tape's backend. When x carries a
+// packed spike plane, the forward pass and the weight-gradient pullback
+// run the spike-aware pipeline (packed im2col + select-accumulate)
+// instead, never materialising a dense column matrix; results are
+// bit-identical either way.
 func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
 	var bt *tensor.Tensor
 	if bias != nil {
 		bt = bias.Data
 	}
-	out := tensor.Conv2DOn(tp.Backend(), x.Data, weight.Data, bt, p)
+	sp := x.spikes
+	if spikeKernelsOff.Load() {
+		sp = nil
+	}
+	var out *tensor.Tensor
+	var col *tensor.SpikeTensor
+	if sp != nil {
+		// The packed column matrix is 1/64 the dense one, so retaining
+		// it from the forward pass for the weight-gradient pullback is
+		// cheap where retaining the dense expansion would not be.
+		col = tensor.SpikeIm2ColOn(tp.Backend(), sp, weight.Data.Dim(2), weight.Data.Dim(3), p)
+		out = tensor.SpikeConv2DWithColOn(tp.Backend(), sp, col, weight.Data, bt, p)
+	} else {
+		out = tensor.Conv2DOn(tp.Backend(), x.Data, weight.Data, bt, p)
+	}
 	parents := []*Value{x, weight}
 	if bias != nil {
 		parents = append(parents, bias)
 	}
 	return tp.NewOp(out, func(g *tensor.Tensor) {
-		dx, dw, db := tensor.Conv2DBackwardOn(tp.Backend(), x.Data, weight.Data, g, p, bias != nil)
+		var dx, dw, db *tensor.Tensor
+		if sp != nil {
+			dx, dw, db = tensor.SpikeConv2DBackwardWithColOn(tp.Backend(), sp, col, weight.Data, g, p, bias != nil)
+		} else {
+			dx, dw, db = tensor.Conv2DBackwardOn(tp.Backend(), x.Data, weight.Data, g, p, bias != nil)
+		}
 		x.AccumGrad(dx)
 		weight.AccumGrad(dw)
 		if bias != nil {

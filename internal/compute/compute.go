@@ -43,11 +43,15 @@ type Backend interface {
 	// ParallelFor partitions the index range [0, n) into at most
 	// Workers() contiguous blocks and invokes fn(lo, hi) once per block,
 	// possibly concurrently. grain is the minimum profitable block size:
-	// fewer than 2*grain iterations run as a single inline block (the
-	// final block of a partition may still be shorter than grain). fn
-	// must be safe to run concurrently on disjoint ranges. ParallelFor
-	// returns only after every block has completed. A grain < 1 is
-	// treated as 1.
+	// for grain > 1, fewer than MinParallelGrains*grain iterations run
+	// as a single inline block — below that much total work the
+	// partition and hand-off overhead exceeds what fan-out recovers. A
+	// grain ≤ 1 asserts that every single iteration is a dispatch-worthy
+	// unit (e.g. one whole image of a conv batch) and bypasses the
+	// inline threshold. The final block of a partition may still be
+	// shorter than grain. fn must be safe to run concurrently on
+	// disjoint ranges. ParallelFor returns only after every block has
+	// completed.
 	ParallelFor(n, grain int, fn func(lo, hi int))
 	// Get returns a scratch buffer of length n from the pool. Its
 	// contents are unspecified (recycled buffers are not zeroed); the
@@ -108,13 +112,30 @@ func NewParallel(width int) *Parallel {
 // Workers returns the backend's block width.
 func (p *Parallel) Workers() int { return p.width }
 
+// MinParallelGrains is the inline work threshold of the Parallel
+// backend: a kernel must carry at least this many grains of work before
+// ParallelFor fans out. One grain is sized (by the caller) at roughly
+// the smallest profitable block, so two grains of work split across two
+// workers would save at most one grain of wall-clock — about the same
+// as the submit/wait hand-off costs. Requiring MinParallelGrains grains
+// keeps such sub-threshold kernels inline, where the partition overhead
+// is zero. Callers passing grain ≤ 1 bypass the threshold (each
+// iteration is declared dispatch-worthy on its own).
+const MinParallelGrains = 4
+
 // ParallelFor partitions [0, n) into at most width blocks of at least
 // grain iterations, runs all but one on the shared worker pool and the
-// last inline, and waits for completion. When the pool has no idle worker
-// a block runs inline on the caller, so nested or heavily concurrent use
-// degrades to serial execution instead of deadlocking or oversubscribing.
+// last inline, and waits for completion. Kernels below the
+// MinParallelGrains work threshold run inline without partitioning.
+// When the pool has no idle worker a block runs inline on the caller,
+// so nested or heavily concurrent use degrades to serial execution
+// instead of deadlocking or oversubscribing.
 func (p *Parallel) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
+		return
+	}
+	if grain > 1 && n < MinParallelGrains*grain {
+		fn(0, n)
 		return
 	}
 	if grain < 1 {
@@ -293,4 +314,45 @@ func putBuf(s []float64) {
 	b := bits.Len(uint(c)) - 1 // floor(log2(cap)): bucket whose size the cap covers
 	s = s[:0]
 	buckets[b].Put(&s) // pointer avoids boxing the slice header (SA6002)
+}
+
+// ---------------------------------------------------------------------------
+// uint64 scratch pool
+//
+// Bit-packed spike planes need word scratch rather than float scratch
+// (pack/unpack buffers, pooled spike-im2col matrices). The pool mirrors
+// the float64 one: power-of-two capacity buckets, unspecified contents
+// on Get, oversized buffers dropped on Put. These are package-level
+// functions rather than Backend methods so the Backend interface stays
+// frozen; like the float64 pool, the buckets are process-wide and safe
+// for concurrent use.
+
+var u64Buckets [maxBucket + 1]sync.Pool
+
+// GetUint64 returns a []uint64 of length n with unspecified contents;
+// the caller must fully initialize it before reading.
+func GetUint64(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	b := bucketFor(n)
+	if b > maxBucket {
+		return make([]uint64, n)
+	}
+	if v := u64Buckets[b].Get(); v != nil {
+		return (*v.(*[]uint64))[:n]
+	}
+	return make([]uint64, n, 1<<b)
+}
+
+// PutUint64 recycles a buffer obtained from GetUint64. The caller must
+// not use the buffer afterwards.
+func PutUint64(s []uint64) {
+	c := cap(s)
+	if c == 0 || c > 1<<maxBucket {
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	s = s[:0]
+	u64Buckets[b].Put(&s)
 }

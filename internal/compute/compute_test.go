@@ -60,6 +60,36 @@ func TestParallelForSmallNRunsInline(t *testing.T) {
 	}
 }
 
+func TestParallelForInlineThresholdCutover(t *testing.T) {
+	// Pins the inline work threshold: one iteration below
+	// MinParallelGrains*grain the kernel must run as a single inline
+	// block; at the threshold it must fan out into multiple blocks.
+	be := NewParallel(8)
+	const grain = 32
+	var calls atomic.Int64
+	be.ParallelFor(MinParallelGrains*grain-1, grain, func(lo, hi int) { calls.Add(1) })
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("below threshold: got %d blocks, want 1 inline block", got)
+	}
+	calls.Store(0)
+	be.ParallelFor(MinParallelGrains*grain, grain, func(lo, hi int) { calls.Add(1) })
+	if got := calls.Load(); got < 2 {
+		t.Fatalf("at threshold: got %d blocks, want ≥ 2", got)
+	}
+}
+
+func TestParallelForGrainOneBypassesThreshold(t *testing.T) {
+	// grain ≤ 1 declares each iteration dispatch-worthy on its own
+	// (e.g. whole conv images), so a 2-iteration kernel must still
+	// split even though 2 < MinParallelGrains.
+	be := NewParallel(8)
+	var calls atomic.Int64
+	be.ParallelFor(2, 1, func(lo, hi int) { calls.Add(1) })
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("grain=1 n=2: got %d blocks, want 2", got)
+	}
+}
+
 func TestParallelForNested(t *testing.T) {
 	// Nested ParallelFor must complete (no deadlock) and cover all work.
 	be := NewParallel(runtime.NumCPU() + 2)
@@ -172,6 +202,33 @@ func TestBufferPoolSizedAndRecycled(t *testing.T) {
 		t.Fatal("Get(0) should return nil")
 	}
 	be.Put(nil) // must not panic
+}
+
+func TestUint64PoolSizedAndRecycled(t *testing.T) {
+	b := GetUint64(100)
+	if len(b) != 100 {
+		t.Fatalf("GetUint64(100) returned len %d", len(b))
+	}
+	for i := range b {
+		b[i] = uint64(i + 1)
+	}
+	PutUint64(b)
+	c := GetUint64(70)
+	if len(c) != 70 || cap(c) < 70 {
+		t.Fatalf("GetUint64(70) returned len %d cap %d", len(c), cap(c))
+	}
+	if GetUint64(0) != nil {
+		t.Fatal("GetUint64(0) should return nil")
+	}
+	PutUint64(nil) // must not panic
+	huge := make([]uint64, (1<<maxBucket)+1)
+	PutUint64(huge) // must not be retained
+	if v := u64Buckets[maxBucket].Get(); v != nil {
+		if cap(*v.(*[]uint64)) > 1<<maxBucket {
+			t.Fatal("oversized uint64 buffer was retained in the top bucket")
+		}
+		u64Buckets[maxBucket].Put(v)
+	}
 }
 
 func TestBucketFor(t *testing.T) {

@@ -2,6 +2,7 @@ package snn
 
 import (
 	"fmt"
+	"math"
 
 	"snnsec/internal/autodiff"
 	"snnsec/internal/tensor"
@@ -78,29 +79,72 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	shape := current.Data.Shape()
 	be := tp.Backend()
 
-	pre := make([]float64, n)
-	spk := make([]float64, n)
-	vout := make([]float64, n)
-	surr := make([]float64, n)
+	// One slab for the three tape-lived arrays (see LIFStep).
+	slab := make([]float64, 3*n)
+	spk := slab[0*n : 1*n : 1*n]
+	vout := slab[1*n : 2*n : 2*n]
+	surr := slab[2*n:]
 	newExcess := tensor.New(shape...)
 	cv, mv, ex, ne := current.Data.Data(), st.V.Data.Data(), st.ThExcess.Data(), newExcess.Data()
-	be.ParallelFor(n, 2048, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			p := cfg.Alpha*mv[i] + cv[i]
-			pre[i] = p
-			th := cfg.Vth + ex[i]
-			var s float64
-			if p > th {
-				s = 1
+	// Devirtualise the default surrogate (see LIFStep); the inline
+	// expression is FastSigmoid.Grad verbatim.
+	fs, isFS := cfg.Surrogate.(FastSigmoid)
+	// Pack the spike plane inline while thresholding, exactly as
+	// LIFStep does: the loop is partitioned by (word-aligned) row, so
+	// bit writes stay block-local and a dense-kernel run pays nothing.
+	rows := shape[0]
+	rowLen := n / rows
+	words := (rowLen + 63) / 64
+	packOn := autodiff.SpikeKernelsEnabled()
+	var spkBits []uint64
+	var spkCounts []int
+	if packOn {
+		spkBits = make([]uint64, rows*words)
+		spkCounts = make([]int, rows)
+	}
+	be.ParallelFor(rows, 2048/rowLen, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * rowLen
+			wi := r * words
+			var wrd uint64
+			cnt := 0
+			for j := 0; j < rowLen; j++ {
+				i := base + j
+				p := cfg.Alpha*mv[i] + cv[i]
+				th := cfg.Vth + ex[i]
+				var s float64
+				if p > th {
+					s = 1
+					if packOn {
+						wrd |= 1 << (uint(j) & 63)
+						cnt++
+					}
+				}
+				spk[i] = s
+				if isFS {
+					d := 1 + fs.Beta*math.Abs(p-th)
+					surr[i] = 1 / (d * d)
+				} else {
+					surr[i] = cfg.Surrogate.Grad(p - th)
+				}
+				if cfg.Reset == ResetZero {
+					vout[i] = p * (1 - s)
+				} else {
+					vout[i] = p - th*s
+				}
+				ne[i] = ex[i]*cfg.AdaptDecay + cfg.AdaptStep*s
+				if packOn && j&63 == 63 {
+					spkBits[wi] = wrd
+					wi++
+					wrd = 0
+				}
 			}
-			spk[i] = s
-			surr[i] = cfg.Surrogate.Grad(p - th)
-			if cfg.Reset == ResetZero {
-				vout[i] = p * (1 - s)
-			} else {
-				vout[i] = p - th*s
+			if packOn {
+				if rowLen&63 != 0 {
+					spkBits[wi] = wrd
+				}
+				spkCounts[r] = cnt
 			}
-			ne[i] = ex[i]*cfg.AdaptDecay + cfg.AdaptStep*s
 		}
 	})
 
@@ -108,8 +152,7 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	membrane := st.V
 	spikes = tp.NewOp(spikeT, func(g *tensor.Tensor) {
 		gd := g.Data()
-		dI := make([]float64, n)
-		dV := make([]float64, n)
+		dI, dV := stepScratch(be, n)
 		be.ParallelFor(n, 2048, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				dI[i] = gd[i] * surr[i]
@@ -118,13 +161,18 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 		})
 		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+		releaseStepScratch(be, dI, dV)
 	}, current, membrane)
+	// Adaptive populations emit binary planes too: attach the plane
+	// packed inline above so downstream synapses take the spike kernels.
+	if packOn {
+		spikes.AttachSpikes(tensor.NewSpikeTensorFromBits(spkBits, spkCounts, shape...))
+	}
 
 	vT := tensor.FromSlice(vout, shape...)
 	vNode := tp.NewOp(vT, func(g *tensor.Tensor) {
 		gd := g.Data()
-		dI := make([]float64, n)
-		dV := make([]float64, n)
+		dI, dV := stepScratch(be, n)
 		be.ParallelFor(n, 2048, func(lo, hi int) {
 			if cfg.Reset == ResetZero {
 				for i := lo; i < hi; i++ {
@@ -140,6 +188,7 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 		})
 		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+		releaseStepScratch(be, dI, dV)
 	}, current, membrane)
 
 	return spikes, &ALIFState{V: vNode, ThExcess: newExcess}

@@ -101,7 +101,7 @@ func (e *PoissonEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *au
 		}
 	}
 	out := tensor.FromSlice(spikes, shape...)
-	return tp.NewOp(out, func(g *tensor.Tensor) {
+	v := tp.NewOp(out, func(g *tensor.Tensor) {
 		// Straight-through: d rate/dx = Gain·Scale inside the linear
 		// region, zero where the rate saturates.
 		gd := g.Data()
@@ -113,6 +113,13 @@ func (e *PoissonEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *au
 		}
 		x.AccumGrad(tensor.FromSlice(dx, shape...))
 	}, x)
+	// Rate-coded trains are binary: packing them here lets the first
+	// synapse run the spike kernels, so the whole forward pass stays in
+	// packed form from the pixels to the readout.
+	if autodiff.SpikeKernelsEnabled() {
+		v.AttachSpikes(tensor.PackSpikesOn(tp.Backend(), out))
+	}
+	return v
 }
 
 // Name returns "poisson(gain)".
@@ -155,7 +162,7 @@ func (e LatencyEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *aut
 		}
 	}
 	out := tensor.FromSlice(spikes, shape...)
-	return tp.NewOp(out, func(g *tensor.Tensor) {
+	v := tp.NewOp(out, func(g *tensor.Tensor) {
 		gd := g.Data()
 		dx := make([]float64, n)
 		for i := range dx {
@@ -165,6 +172,12 @@ func (e LatencyEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *aut
 		}
 		x.AccumGrad(tensor.FromSlice(dx, shape...))
 	}, x)
+	// A latency-coded step is binary (at most one spike per pixel), so
+	// it packs the same way as the rate code.
+	if autodiff.SpikeKernelsEnabled() {
+		v.AttachSpikes(tensor.PackSpikesOn(tp.Backend(), out))
+	}
+	return v
 }
 
 // Name returns "latency(gain,T)".

@@ -2,6 +2,7 @@ package snn
 
 import (
 	"fmt"
+	"math"
 
 	"snnsec/internal/autodiff"
 	"snnsec/internal/tensor"
@@ -99,28 +100,81 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 
 	// The per-neuron state update is embarrassingly parallel, and for a
 	// convolutional population n is N·C·H·W — large enough that the BPTT
-	// hot loop is worth running on the backend.
+	// hot loop is worth running on the backend. Only the tensors the
+	// tape retains (spikes, membrane, the surrogate for the pullback)
+	// are allocated; the pullback scratch below comes from the pooled
+	// per-step workspace.
 	const lifGrain = 2048
-	pre := make([]float64, n)  // pre-reset membrane α·v + I
-	spk := make([]float64, n)  // binary spikes
-	vout := make([]float64, n) // post-reset membrane
-	surr := make([]float64, n) // surrogate dH/dpre
+	// One slab for the three tape-lived arrays: a third of the
+	// allocations (and their zeroing passes) per step.
+	slab := make([]float64, 3*n)
+	spk := slab[0*n : 1*n : 1*n]  // binary spikes
+	vout := slab[1*n : 2*n : 2*n] // post-reset membrane
+	surr := slab[2*n:]            // surrogate dH/dpre
 	cv := current.Data.Data()
 	mv := membrane.Data.Data()
-	be.ParallelFor(n, lifGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			p := cfg.Alpha*mv[i] + cv[i]
-			pre[i] = p
-			var s float64
-			if p > cfg.Vth {
-				s = 1
+	// Devirtualise the default surrogate: an interface call per neuron
+	// per timestep dominates the elementwise pass otherwise. The inline
+	// expression is FastSigmoid.Grad verbatim, so the results are
+	// bit-identical to the interface path.
+	fs, isFS := cfg.Surrogate.(FastSigmoid)
+	// The threshold step is the producer of the network's binary
+	// planes: when the spike dispatch is on, the loop packs the plane
+	// while it thresholds (rows are word-aligned, and the loop is
+	// partitioned by row, so the bit writes are block-local); a
+	// dense-kernel run pays no packing cost. rowGrain ≤ 1 is the
+	// dispatch-worthy-row case: one row alone exceeds lifGrain work.
+	rows := shape[0]
+	rowLen := n / rows
+	words := (rowLen + 63) / 64
+	packOn := autodiff.SpikeKernelsEnabled()
+	var spkBits []uint64
+	var spkCounts []int
+	if packOn {
+		spkBits = make([]uint64, rows*words)
+		spkCounts = make([]int, rows)
+	}
+	rowGrain := lifGrain / rowLen
+	be.ParallelFor(rows, rowGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * rowLen
+			wi := r * words
+			var wrd uint64
+			cnt := 0
+			for j := 0; j < rowLen; j++ {
+				i := base + j
+				p := cfg.Alpha*mv[i] + cv[i]
+				var s float64
+				if p > cfg.Vth {
+					s = 1
+					if packOn {
+						wrd |= 1 << (uint(j) & 63)
+						cnt++
+					}
+				}
+				spk[i] = s
+				if isFS {
+					d := 1 + fs.Beta*math.Abs(p-cfg.Vth)
+					surr[i] = 1 / (d * d)
+				} else {
+					surr[i] = cfg.Surrogate.Grad(p - cfg.Vth)
+				}
+				if cfg.Reset == ResetZero {
+					vout[i] = p * (1 - s)
+				} else {
+					vout[i] = p - cfg.Vth*s
+				}
+				if packOn && j&63 == 63 {
+					spkBits[wi] = wrd
+					wi++
+					wrd = 0
+				}
 			}
-			spk[i] = s
-			surr[i] = cfg.Surrogate.Grad(p - cfg.Vth)
-			if cfg.Reset == ResetZero {
-				vout[i] = p * (1 - s)
-			} else {
-				vout[i] = p - cfg.Vth*s
+			if packOn {
+				if rowLen&63 != 0 {
+					spkBits[wi] = wrd
+				}
+				spkCounts[r] = cnt
 			}
 		}
 	})
@@ -129,8 +183,7 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 	spikes = tp.NewOp(spikeT, func(g *tensor.Tensor) {
 		// ds/dpre = surrogate; dpre/dI = 1; dpre/dv_prev = α.
 		gd := g.Data()
-		dI := make([]float64, n)
-		dV := make([]float64, n)
+		dI, dV := stepScratch(be, n)
 		be.ParallelFor(n, lifGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				dI[i] = gd[i] * surr[i]
@@ -139,7 +192,13 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 		})
 		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+		releaseStepScratch(be, dI, dV)
 	}, current, membrane)
+	// Attach the plane packed inline above so every synapse downstream —
+	// and the weight-gradient pullbacks — run the spike kernels.
+	if packOn {
+		spikes.AttachSpikes(tensor.NewSpikeTensorFromBits(spkBits, spkCounts, shape...))
+	}
 
 	vT := tensor.FromSlice(vout, shape...)
 	newMembrane = tp.NewOp(vT, func(g *tensor.Tensor) {
@@ -147,8 +206,7 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 		//   ResetZero:     (1 − s)
 		//   ResetSubtract: 1
 		gd := g.Data()
-		dI := make([]float64, n)
-		dV := make([]float64, n)
+		dI, dV := stepScratch(be, n)
 		be.ParallelFor(n, lifGrain, func(lo, hi int) {
 			if cfg.Reset == ResetZero {
 				for i := lo; i < hi; i++ {
@@ -164,6 +222,7 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 		})
 		current.AccumGrad(tensor.FromSlice(dI, shape...))
 		membrane.AccumGrad(tensor.FromSlice(dV, shape...))
+		releaseStepScratch(be, dI, dV)
 	}, current, membrane)
 
 	return spikes, newMembrane

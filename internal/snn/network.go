@@ -124,6 +124,15 @@ func (n *Network) SetVth(vth float64) {
 // training and for white-box attacks alike is dominated by these T
 // unrolled steps, which is why the (Vth, T) exploration scales linearly
 // in T.
+//
+// Binary planes stay bit-packed between layers: the encoder and every
+// LIF threshold step attach the packed spike form to their output, so
+// a synapse fed directly by spikes (the input convolution, the readout,
+// and every synapse of a pooling-free topology) runs the multiply-free
+// select-accumulate kernels — forward and weight gradient — instead of
+// dense matmuls, at identical bit-for-bit results. Pooling layers
+// average spikes into non-binary values, so synapses behind a pool take
+// the dense kernels with their zero-skip path.
 func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 	if err := n.Validate(); err != nil {
 		panic(err)
@@ -147,7 +156,7 @@ func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 			var spikes *autodiff.Value
 			spikes, membranes[l] = LIFStep(tp, n.Hidden[l].Cfg, cur, membranes[l])
 			if rateSums != nil {
-				rateSums[l] += tensor.Mean(spikes.Data)
+				rateSums[l] += spikeRate(spikes)
 			}
 			h = spikes
 		}
@@ -168,7 +177,7 @@ func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 			panic(fmt.Sprintf("snn: unknown readout mode %v", n.Mode))
 		}
 		if n.Record != nil {
-			outRateSum += tensor.Mean(contribution.Data)
+			outRateSum += spikeRate(contribution)
 		}
 		if acc == nil {
 			acc = contribution
@@ -185,6 +194,17 @@ func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 		n.Record.OutputRate = outRateSum / float64(n.T)
 	}
 	return tp.Scale(acc, n.LogitScale/float64(n.T))
+}
+
+// spikeRate returns the mean activity of a value, reading the packed
+// popcount index when the value carries one. The two reads are
+// identical floats: a serial sum of 0/1 terms is the exact integer
+// popcount (every partial sum is an integer well below 2^53).
+func spikeRate(v *autodiff.Value) float64 {
+	if s := v.Spikes(); s != nil {
+		return s.Density()
+	}
+	return tensor.Mean(v.Data)
 }
 
 // Params returns all trainable parameters (hidden synapses then readout).

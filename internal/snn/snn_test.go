@@ -504,6 +504,66 @@ func TestNetworkDeterminism(t *testing.T) {
 	}
 }
 
+// TestSpikeKernelsBitIdenticalEndToEnd pins the spike-plane engine
+// through a whole BPTT pass: a spiking network with a Poisson front-end
+// (packed encoder spikes into SpikeConv2D), a pooling stage (dense
+// kernels resume behind it) and a spike-fed readout must produce
+// bit-identical logits, parameter gradients and input gradients with
+// the spike kernels enabled and disabled.
+func TestSpikeKernelsBitIdenticalEndToEnd(t *testing.T) {
+	r := tensor.NewRand(40, 0)
+	xT := tensor.RandN(r, 0.6, 0.3, 3, 1, 8, 8)
+	labels := []int{0, 2, 1}
+	build := func() *Network {
+		rr := tensor.NewRand(41, 0)
+		cfg := NeuronConfig{Vth: 0.8, Alpha: 0.9, Reset: ResetZero, Surrogate: FastSigmoid{Beta: 25}}
+		return &Network{
+			Encoder: NewPoissonEncoder(1, 7, 9),
+			Hidden: []Layer{
+				{Syn: nn.NewConv2D(rr, 1, 4, 3, 1, 1), Cfg: cfg},
+				{Syn: nn.NewSequential(nn.AvgPool{K: 2}, nn.Flatten{}, nn.NewLinear(rr, 64, 10)), Cfg: cfg},
+			},
+			Readout:    nn.NewLinear(rr, 10, 3),
+			ReadoutCfg: cfg,
+			Mode:       ReadoutSpikeCount,
+			T:          5,
+			LogitScale: 10,
+		}
+	}
+	type result struct {
+		logits, xGrad *tensor.Tensor
+		params        []*tensor.Tensor
+	}
+	run := func(spike bool) result {
+		autodiff.SetSpikeKernels(spike)
+		defer autodiff.SetSpikeKernels(true)
+		net := build()
+		tp := autodiff.NewTape()
+		x := tp.Var(xT.Clone())
+		logits := net.Logits(tp, x)
+		loss := tp.SoftmaxCrossEntropy(logits, labels)
+		tp.Backward(loss)
+		res := result{logits: logits.Data, xGrad: x.Grad}
+		for _, p := range net.Params() {
+			res.params = append(res.params, p.Grad)
+		}
+		return res
+	}
+	dense := run(false)
+	spiked := run(true)
+	if !dense.logits.AllClose(spiked.logits, 0) {
+		t.Error("spike kernels changed the logits")
+	}
+	if !dense.xGrad.AllClose(spiked.xGrad, 0) {
+		t.Error("spike kernels changed the input gradient")
+	}
+	for i := range dense.params {
+		if !dense.params[i].AllClose(spiked.params[i], 0) {
+			t.Errorf("spike kernels changed parameter gradient %d", i)
+		}
+	}
+}
+
 // A tiny SNN must be able to learn a separable toy problem through BPTT —
 // the end-to-end sanity check for the whole surrogate-gradient machinery.
 func TestSNNLearnsToyProblem(t *testing.T) {

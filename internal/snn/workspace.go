@@ -1,0 +1,32 @@
+package snn
+
+import "snnsec/internal/compute"
+
+// Per-step workspace arena of the BPTT loop.
+//
+// Every LIF/ALIF pullback needs two transient buffers (the gradients
+// with respect to the input current and the previous membrane); an
+// unrolled T-step network runs 2·layers·T such pullbacks per backward
+// pass. AccumGrad copies the values out immediately, so the buffers are
+// dead as soon as the pullback returns — drawing them from the
+// backend's buffer pool instead of the heap means a whole backward
+// pass cycles through a handful of cache-warm buffers rather than
+// allocating (and later garbage-collecting) one pair per step. The
+// interior gradient buffers themselves are pooled the same way by
+// autodiff's Backward; together they form the workspace the time loop
+// reuses every step.
+
+// stepScratch returns two length-n buffers from the backend pool. Their
+// contents are unspecified (recycled buffers are dirty); every pullback
+// fully overwrites them before reading.
+func stepScratch(be compute.Backend, n int) (dI, dV []float64) {
+	return be.Get(n), be.Get(n)
+}
+
+// releaseStepScratch returns step buffers to the pool. The caller must
+// have finished reading them (AccumGrad copies, so returning right
+// after the accumulation is safe).
+func releaseStepScratch(be compute.Backend, dI, dV []float64) {
+	be.Put(dI)
+	be.Put(dV)
+}

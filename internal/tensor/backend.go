@@ -1,8 +1,6 @@
 package tensor
 
 import (
-	"math"
-
 	"snnsec/internal/compute"
 )
 
@@ -39,16 +37,31 @@ func grainRows(opsPerRow int) int {
 }
 
 // allFinite reports whether s contains no NaN or infinity. The matmul
-// kernels use it to gate their zero-skip branch: skipping a zero row of a
-// is only sound when b is finite everywhere, because 0·NaN and 0·±Inf
-// must propagate NaN into the product.
+// and spike kernels use it to gate their zero-skip behaviour: skipping
+// a zero coefficient is only sound when the other operand is finite
+// everywhere, because 0·NaN and 0·±Inf must propagate NaN into the
+// product.
+//
+// The scan is branch-free: v·0 is ±0 for finite v and NaN for NaN/±Inf,
+// and NaN is sticky through addition, so the accumulated sum is +0 iff
+// every element is finite (±0 terms cannot turn an accumulator negative
+// or non-zero). Four independent accumulators keep the multiply-add
+// chains pipelined; the gate runs over whole weight matrices on every
+// spike-kernel call, so its throughput shows in BPTT profiles.
 func allFinite(s []float64) bool {
-	for _, v := range s {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return false
-		}
+	var a0, a1, a2, a3 float64
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		v := (*[4]float64)(s[i:])
+		a0 += v[0] * 0
+		a1 += v[1] * 0
+		a2 += v[2] * 0
+		a3 += v[3] * 0
 	}
-	return true
+	for ; i < len(s); i++ {
+		a0 += s[i] * 0
+	}
+	return a0+a1+a2+a3 == 0
 }
 
 // backendOr returns be, or the process default when be is nil.

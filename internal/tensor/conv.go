@@ -186,6 +186,19 @@ func col2imAddInto(be compute.Backend, dst, col []float64, ldcol int, c, h, w, k
 				for kj := 0; kj < kw; kj++ {
 					r := (ci*kh+ki)*kw + kj
 					src := col[r*ldcol : r*ldcol+oh*ow]
+					// The valid ox range for this kj is one interval:
+					// 0 ≤ ox·stride + kj − padding < w. Hoisting it out
+					// of the inner loop removes the per-tap bounds
+					// tests; the adds themselves keep their (oy, ox)
+					// order, so the accumulation is unchanged.
+					oxlo := 0
+					if num := p.Padding - kj; num > 0 {
+						oxlo = (num + p.Stride - 1) / p.Stride
+					}
+					oxhi := 0
+					if num := w - 1 + p.Padding - kj; num >= 0 {
+						oxhi = min(ow, num/p.Stride+1)
+					}
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*p.Stride + ki - p.Padding
 						if iy < 0 || iy >= h {
@@ -193,11 +206,10 @@ func col2imAddInto(be compute.Backend, dst, col []float64, ldcol int, c, h, w, k
 						}
 						dstRow := dst[(ci*h+iy)*w : (ci*h+iy+1)*w]
 						base := oy * ow
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*p.Stride + kj - p.Padding
-							if ix >= 0 && ix < w {
-								dstRow[ix] += src[base+ox]
-							}
+						ix := oxlo*p.Stride + kj - p.Padding
+						for ox := oxlo; ox < oxhi; ox++ {
+							dstRow[ix] += src[base+ox]
+							ix += p.Stride
 						}
 					}
 				}

@@ -210,13 +210,12 @@ func Minimum(a, b *Tensor) *Tensor {
 func AddInto(dst, src *Tensor) { AddIntoOn(nil, dst, src) }
 
 // AddIntoOn computes dst += src elementwise in place on be (nil selects
-// the default backend).
+// the default backend). It is the gradient-accumulation primitive
+// (AccumGrad), so the inner loop is the 4-wide unrolled addRow.
 func AddIntoOn(be compute.Backend, dst, src *Tensor) {
 	assertSameShape("AddInto", dst, src)
 	backendOr(be).ParallelFor(len(dst.data), elemGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.data[i] += src.data[i]
-		}
+		addRow(dst.data[lo:hi], src.data[lo:hi])
 	})
 }
 

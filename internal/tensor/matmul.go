@@ -15,9 +15,11 @@ import (
 // has one (4 rows × 8 columns of accumulators live in ymm registers
 // across the whole k loop), and otherwise on a 2×4 scalar register tile;
 // rows containing zeros take a zero-skipping scalar path instead when
-// the finiteness gate allows it. a·bᵀ keeps a scalar 2×4 tile: its
-// reduction runs along the contiguous dimension, so vectorising it would
-// split the accumulator and change the result.
+// the finiteness gate allows it. a·bᵀ reaches the same panel kernels by
+// packing bᵀ into a pooled [k,n] panel first: its reduction runs along
+// the contiguous dimension of b, and the packed panel turns that into
+// the a·b memory layout without touching the per-element reduction
+// order.
 //
 // Every output element is accumulated by a single accumulator in
 // ascending-k order in all of these paths — packed IEEE multiplies and
@@ -433,73 +435,34 @@ func MatMulABTOn(be compute.Backend, a, b *Tensor) *Tensor {
 
 // matMulABTInto writes a·bᵀ into dst (len m*n, contents overwritten) for
 // a [m,k] and b whose n rows of length k start at multiples of ldb
-// (pass ldb = k for a contiguous b). Each dst element is one ascending-k
-// dot product, so no accumulation crosses tiles. The ldb parameter lets
-// the batched conv weight-gradient run directly on one image's column
-// slab of the batch-wide im2col matrix without copying it out.
+// (pass ldb = k for a contiguous b). The ldb parameter lets the batched
+// conv weight-gradient run directly on one image's column slab of the
+// batch-wide im2col matrix without copying it out.
+//
+// The product runs on the same blocked (and, on amd64, AVX) panel
+// kernels as a·b by first packing bᵀ into a pooled [k,n] panel: each
+// dst element is then the identical ascending-k dot product the direct
+// formulation computes — transposing reorders memory, not the
+// reduction — so the result stays bit-identical to the naive reference
+// while the k loop vectorises. The packing pass costs k·n moves against
+// the product's 2·m·k·n flops; it pays for itself for every m ≥ 1
+// because the panel kernels more than double the scalar dot-product
+// throughput. The zero-skip path stays off: both operands of the
+// weight-gradient product are dense gradients.
 func matMulABTInto(be compute.Backend, dst, a, b []float64, m, k, n, ldb int) {
-	rblocks := (m + mrTile - 1) / mrTile
-	be.ParallelFor(rblocks, grainRows(2*k*n*mrTile), func(lo, hi int) {
-		for rb := lo; rb < hi; rb++ {
-			i0 := rb * mrTile
-			if m-i0 < mrTile {
-				matMulABTPanelEdge(dst, a, b, i0, m-i0, 0, n, k, n, ldb)
-				continue
+	bt := be.Get(k * n)
+	defer be.Put(bt)
+	// bt[p*n+j] = b[j*ldb+p]: rows of bt are partitioned across workers.
+	be.ParallelFor(k, grainRows(n), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			drow := bt[p*n : (p+1)*n]
+			for j := range drow {
+				drow[j] = b[j*ldb+p]
 			}
-			matMulABTPanel2x4(dst, a, b, i0, k, n, ldb)
 		}
 	})
-}
-
-// matMulABTPanel2x4 computes two full dst rows with a 2×4 register tile;
-// all six operand streams advance unit-stride in k.
-func matMulABTPanel2x4(dst, a, b []float64, i0, k, n, ldb int) {
-	a0 := a[(i0+0)*k : (i0+1)*k]
-	a1 := a[(i0+1)*k : (i0+2)*k]
-	j := 0
-	for ; j+nrTile <= n; j += nrTile {
-		b0 := b[(j+0)*ldb : (j+0)*ldb+k]
-		b1 := b[(j+1)*ldb : (j+1)*ldb+k]
-		b2 := b[(j+2)*ldb : (j+2)*ldb+k]
-		b3 := b[(j+3)*ldb : (j+3)*ldb+k]
-		var c00, c01, c02, c03 float64
-		var c10, c11, c12, c13 float64
-		for p := 0; p < k; p++ {
-			av0, av1 := a0[p], a1[p]
-			bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
-			c00 += av0 * bv0
-			c01 += av0 * bv1
-			c02 += av0 * bv2
-			c03 += av0 * bv3
-			c10 += av1 * bv0
-			c11 += av1 * bv1
-			c12 += av1 * bv2
-			c13 += av1 * bv3
-		}
-		d0 := (*[nrTile]float64)(dst[(i0+0)*n+j:])
-		d1 := (*[nrTile]float64)(dst[(i0+1)*n+j:])
-		d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
-		d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
-	}
-	if j < n {
-		matMulABTPanelEdge(dst, a, b, i0, mrTile, j, n-j, k, n, ldb)
-	}
-}
-
-// matMulABTPanelEdge is the fringe loop of matMulABTInto.
-func matMulABTPanelEdge(dst, a, b []float64, i0, ir, j0, jw, k, n, ldb int) {
-	for i := i0; i < i0+ir; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := dst[i*n+j0 : i*n+j0+jw]
-		for jj := range orow {
-			brow := b[(j0+jj)*ldb : (j0+jj)*ldb+k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			orow[jj] = s
-		}
-	}
+	clear(dst[:m*n])
+	matMulInto(be, dst, a, bt, m, k, n, false)
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.

@@ -8,11 +8,15 @@
 // reproducibility: matmuls are cache-blocked and register-tiled (with an
 // AVX micro-kernel on amd64), convolution expands the whole batch into
 // one pooled im2col matrix and runs one matmul per batch, and every
-// kernel partitions its work through a compute.Backend. All of it is
-// bit-identical — across the Serial and Parallel backends, across the
-// scalar and AVX tiles, and against the straightforward reference
-// kernels retained in naive.go. See DESIGN.md for the blocking scheme
-// and the determinism contract.
+// kernel partitions its work through a compute.Backend. Binary spike
+// activations additionally have a first-class bit-packed representation
+// (SpikeTensor, spike.go) whose multiply-free select-accumulate kernels
+// do O(nnz) work instead of O(size). All of it is bit-identical —
+// across the Serial and Parallel backends, across the scalar and AVX
+// tiles, across the packed and dense forms, and against the
+// straightforward reference kernels retained in naive.go. See DESIGN.md
+// for the blocking scheme, the spike-plane layout and the determinism
+// contract.
 package tensor
 
 import (
