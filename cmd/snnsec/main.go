@@ -6,6 +6,7 @@
 //
 //	snnsec fig1            motivational CNN-vs-SNN study (Figure 1)
 //	snnsec grid            learnability + robustness heat maps (Figures 6-8)
+//	snnsec grid-worker     serve one shard of a distributed grid run (internal)
 //	snnsec fig9            tracked (Vth,T) combinations vs CNN (Figure 9)
 //	snnsec train           train one model and save a checkpoint
 //	snnsec attack          attack a saved checkpoint
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,8 @@ import (
 	"snnsec/internal/attack"
 	"snnsec/internal/compute"
 	"snnsec/internal/core"
+	"snnsec/internal/explore"
+	"snnsec/internal/grid"
 	"snnsec/internal/modelio"
 	"snnsec/internal/nn"
 	"snnsec/internal/report"
@@ -71,6 +75,8 @@ func run(args []string) error {
 		return cmdFig1(args[1:])
 	case "grid":
 		return cmdGrid(args[1:])
+	case "grid-worker":
+		return cmdGridWorker(args[1:])
 	case "fig9":
 		return cmdFig9(args[1:])
 	case "train":
@@ -98,7 +104,10 @@ func usage() {
 
 subcommands:
   fig1     motivational CNN-vs-SNN robustness curves (Figure 1)
-  grid     (Vth, T) learnability and robustness heat maps (Figures 6-8)
+  grid     (Vth, T) learnability and robustness heat maps (Figures 6-8);
+           -shards n distributes the sweep over grid-worker subprocesses
+           with durable -checkpoint-dir checkpoints and -resume
+  grid-worker  serve one shard of a distributed run over stdin/stdout
   fig9     tracked combinations vs the CNN (Figure 9)
   train    train a model and save a checkpoint
   attack   attack a saved checkpoint
@@ -116,6 +125,7 @@ global flags (before the subcommand):
 
 environment:
   SNNSEC_SCALE=paper     use the paper-scale preset (slow)
+  SNNSEC_SCALE=tiny      use the smoke-test preset (2x2 grid, seconds)
   SNNSEC_MNIST_DIR=dir   load real MNIST IDX files from dir
 `)
 }
@@ -146,13 +156,30 @@ func cmdGrid(args []string) error {
 	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
 	csvDir := fs.String("csv", "", "directory to write fig6/fig7/fig8 CSV files into")
 	jsonPath := fs.String("json", "", "path to write the full grid result as JSON")
+	shards := fs.Int("shards", 0, "distribute the sweep over this many grid-worker subprocesses (0 runs in-process)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory to persist per-point results (and model snapshots) for resume; requires -shards")
+	resume := fs.Bool("resume", false, "resume a previous run from -checkpoint-dir, computing only the missing points")
+	maxPoints := fs.Int("max-points", 0, "compute at most this many new points this invocation (0 = all); the partial result is resumable")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s := core.ScaleFromEnv()
-	res, err := core.RunGrid(s, os.Stderr)
+	var res *explore.Result
+	var err error
+	if *shards > 0 {
+		res, err = runDistributedGrid(s, *shards, *ckptDir, *resume, *maxPoints)
+	} else {
+		if *ckptDir != "" || *resume || *maxPoints > 0 {
+			return fmt.Errorf("grid: -checkpoint-dir/-resume/-max-points require -shards")
+		}
+		res, err = core.RunGrid(s, os.Stderr)
+	}
 	if err != nil {
 		return err
+	}
+	if missing := res.MissingIndices(); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "grid: partial result, %d/%d points computed (resume with -resume -checkpoint-dir to finish)\n",
+			len(res.Points)-len(missing), len(res.Points))
 	}
 	if *jsonPath != "" {
 		if err := res.SaveJSON(*jsonPath); err != nil {
@@ -189,6 +216,40 @@ func cmdGrid(args []string) error {
 		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(grids), *csvDir)
 	}
 	return nil
+}
+
+// runDistributedGrid shards the sweep across local grid-worker
+// subprocesses (the binary re-executes itself), splitting the global
+// -workers CPU budget across them.
+func runDistributedGrid(s core.Scale, shards int, ckptDir string, resume bool, maxPoints int) (*explore.Result, error) {
+	spec, err := s.GridSpec()
+	if err != nil {
+		return nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("grid: locating own binary to spawn workers: %w", err)
+	}
+	return grid.Run(context.Background(), spec, grid.Options{
+		Shards:         shards,
+		CheckpointDir:  ckptDir,
+		Resume:         resume,
+		SnapshotModels: ckptDir != "",
+		MaxPoints:      maxPoints,
+		Launch:         grid.ExecLauncher(self, "grid-worker"),
+		Log:            os.Stderr,
+	})
+}
+
+// cmdGridWorker serves one shard of a distributed grid run over
+// stdin/stdout; it is spawned by snnsec grid -shards (or by a remote
+// launch wrapper) and never invoked by hand.
+func cmdGridWorker(args []string) error {
+	fs := flag.NewFlagSet("grid-worker", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return grid.ServeWorker(os.Stdin, os.Stdout)
 }
 
 func cmdFig9(args []string) error {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,6 +13,20 @@ import (
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
 )
+
+// TestMain lets this test binary stand in for the snnsec binary when the
+// distributed grid coordinator under test re-executes itself
+// (os.Executable()) as a shard worker.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "grid-worker" {
+		if err := run(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "snnsec:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunNoArgs(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -75,6 +92,69 @@ func TestRebuildModelUnknownKind(t *testing.T) {
 func TestTrainBadModelKind(t *testing.T) {
 	if err := run([]string{"train", "-model", "mlp"}); err == nil {
 		t.Error("unknown model kind accepted by train")
+	}
+}
+
+// TestGridShardedCLISmoke is the end-to-end distributed smoke: a
+// two-shard run with real grid-worker subprocesses, sliced by
+// -max-points, killed (by exhausting its budget), resumed — and the
+// final merged JSON must be byte-identical to the single-process run's.
+func TestGridShardedCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess grid smoke in -short mode")
+	}
+	t.Setenv(core.ScaleEnv, "tiny")
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	distJSON := filepath.Join(dir, "dist.json")
+	singleJSON := filepath.Join(dir, "single.json")
+
+	// Partial first invocation: budget of 2 of the 4 tiny-grid points.
+	if err := run([]string{"grid", "-shards", "2", "-checkpoint-dir", ckpt, "-max-points", "2"}); err != nil {
+		t.Fatalf("partial sharded grid: %v", err)
+	}
+	// Resume to completion.
+	if err := run([]string{"grid", "-shards", "2", "-checkpoint-dir", ckpt, "-resume", "-json", distJSON}); err != nil {
+		t.Fatalf("resumed sharded grid: %v", err)
+	}
+	// Single-process reference.
+	if err := run([]string{"grid", "-json", singleJSON}); err != nil {
+		t.Fatalf("single-process grid: %v", err)
+	}
+	dist, err := os.ReadFile(distJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := os.ReadFile(singleJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dist, single) {
+		t.Errorf("sharded+resumed result differs from single-process run:\n got: %s\nwant: %s", dist, single)
+	}
+	// The checkpoint holds one point file and one model snapshot per
+	// grid point.
+	entries, err := os.ReadDir(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, models := 0, 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "point-") {
+			points++
+		}
+		if strings.HasPrefix(e.Name(), "model-") {
+			models++
+		}
+	}
+	if points != 4 || models != 4 {
+		t.Errorf("checkpoint has %d point files and %d model snapshots, want 4 and 4", points, models)
+	}
+}
+
+func TestGridFlagsRequireShards(t *testing.T) {
+	if err := run([]string{"grid", "-resume"}); err == nil {
+		t.Error("-resume without -shards accepted")
 	}
 }
 

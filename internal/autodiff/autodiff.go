@@ -32,6 +32,13 @@ import (
 type Tape struct {
 	nodes []*Value
 	be    compute.Backend
+	// ownedBufs / ownedWords are pooled buffers backing forward
+	// intermediates recorded on the tape (spike planes, membranes, their
+	// packed bit forms). They are registered by the producing operations
+	// via OwnBuffer/OwnWords and returned to the backend arena by
+	// Release once the tape's values are dead.
+	ownedBufs  [][]float64
+	ownedWords [][]uint64
 }
 
 // Value is a node in the computation graph: a tensor plus the bookkeeping
@@ -80,8 +87,45 @@ func (tp *Tape) Backend() compute.Backend {
 func (tp *Tape) Len() int { return len(tp.nodes) }
 
 // Reset discards all recorded nodes so the tape can be reused for the next
-// forward pass without reallocating the slice.
+// forward pass without reallocating the slice. Buffers registered with
+// OwnBuffer/OwnWords stay owned by their values; use Release to return
+// them to the backend arena as well.
 func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+
+// OwnBuffer registers a pooled float64 buffer (obtained from the tape's
+// backend) that backs forward data recorded on the tape. Release returns
+// it to the backend pool. A buffer must be registered at most once, and
+// must not be sub-sliced into separately-registered pieces.
+func (tp *Tape) OwnBuffer(buf []float64) { tp.ownedBufs = append(tp.ownedBufs, buf) }
+
+// OwnWords registers a pooled []uint64 buffer (a packed spike plane
+// obtained from compute.GetUint64) for return to the word arena on
+// Release.
+func (tp *Tape) OwnWords(buf []uint64) { tp.ownedWords = append(tp.ownedWords, buf) }
+
+// Release is the tape's end-of-life hook: it returns every registered
+// forward buffer — the spike and membrane planes a T-step unrolled
+// network records once per layer per timestep — to the backend arena and
+// resets the tape. After Release no Value recorded on the tape may be
+// used: their Data may alias recycled pool memory. Call it after Backward
+// (and after any forward output has been read), typically once per
+// training batch, so long sweeps cycle through a working set of
+// cache-warm buffers instead of holding T-step activations until the
+// garbage collector runs.
+func (tp *Tape) Release() {
+	be := tp.Backend()
+	for i, b := range tp.ownedBufs {
+		be.Put(b)
+		tp.ownedBufs[i] = nil
+	}
+	tp.ownedBufs = tp.ownedBufs[:0]
+	for i, w := range tp.ownedWords {
+		compute.PutUint64(w)
+		tp.ownedWords[i] = nil
+	}
+	tp.ownedWords = tp.ownedWords[:0]
+	tp.Reset()
+}
 
 // Const records t as a constant: no gradient flows into it.
 func (tp *Tape) Const(t *tensor.Tensor) *Value {

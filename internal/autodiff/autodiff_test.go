@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"snnsec/internal/compute"
 	"snnsec/internal/tensor"
 )
 
@@ -394,6 +395,65 @@ func TestInteriorGradBuffersReleased(t *testing.T) {
 	}
 	if !x.Grad.AllClose(tensor.FromSlice([]float64{2, 4}, 2), 1e-12) {
 		t.Errorf("leaf grad = %v, want 2x", x.Grad)
+	}
+}
+
+// TestReleaseReturnsOwnedBuffers pins the tape's end-of-life hook:
+// buffers registered with OwnBuffer/OwnWords go back to the backend
+// arena on Release, the tape resets, and Release is idempotent.
+func TestReleaseReturnsOwnedBuffers(t *testing.T) {
+	tp := NewTape()
+	be := tp.Backend()
+	buf := be.Get(64)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	tp.OwnBuffer(buf)
+	tp.OwnWords(compute.GetUint64(8))
+	x := tp.Var(tensor.FromSlice(buf, 64))
+	y := tp.Sum(x)
+	tp.Backward(y)
+	if x.Grad.Data()[0] != 1 {
+		t.Fatalf("grad before release = %v", x.Grad.Data()[0])
+	}
+	tp.Release()
+	if tp.Len() != 0 {
+		t.Errorf("tape holds %d nodes after Release", tp.Len())
+	}
+	tp.Release() // second release must not double-free
+	// The tape is reusable after Release.
+	x2 := tp.Var(tensor.FromSlice([]float64{2, 3}, 2))
+	s2 := tp.Sum(x2)
+	tp.Backward(s2)
+	if s2.Data.Item() != 5 {
+		t.Errorf("reused tape sum = %v, want 5", s2.Data.Item())
+	}
+}
+
+// TestReleaseReuseIsBitIdentical: running the same forward/backward
+// twice with a Release in between — so the second pass recycles the
+// first pass's pooled buffers — must produce bit-identical results.
+func TestReleaseReuseIsBitIdentical(t *testing.T) {
+	run := func() (float64, *tensor.Tensor) {
+		tp := NewTape()
+		buf := tp.Backend().Get(16)
+		for i := range buf {
+			buf[i] = float64(i%5) - 2
+		}
+		tp.OwnBuffer(buf)
+		x := tp.Var(tensor.FromSlice(buf, 4, 4))
+		y := tp.Mul(x, x)
+		s := tp.Sum(y)
+		tp.Backward(s)
+		g := x.Grad.Clone()
+		out := s.Data.Item()
+		tp.Release()
+		return out, g
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 || !g1.AllClose(g2, 0) {
+		t.Errorf("pooled reuse changed results: %v vs %v", s1, s2)
 	}
 }
 

@@ -73,6 +73,33 @@ func BenchScale() Scale {
 	}
 }
 
+// TinyScale is the smallest preset that still exercises every phase of
+// Algorithm 1: a 2×2 grid over a 12×12 synthetic set, two epochs, one
+// heat-map budget. It exists for smoke tests — the CI's distributed grid
+// checks train it in seconds — not for meaningful curves; selected with
+// SNNSEC_SCALE=tiny.
+func TinyScale() Scale {
+	return Scale{
+		Name:            "tiny",
+		Data:            DataConfig{TrainN: 96, TestN: 32, ImageSize: 12, Seed: 1},
+		Net:             DefaultLeNetConfig(12, 7),
+		Epochs:          2,
+		BatchSize:       32,
+		LR:              3e-3,
+		GradClip:        5,
+		DefaultVth:      1,
+		DefaultT:        4,
+		Vths:            []float64{0.5, 1},
+		Ts:              []int{2, 4},
+		HeatmapEpsilons: []float64{1.0},
+		CurveEpsilons:   []float64{0, 1.0},
+		AttackSteps:     2,
+		EvalBatch:       32,
+		Workers:         0,
+		Seed:            42,
+	}
+}
+
 // PaperScale mirrors the paper's setting (28×28, LeNet-5 widths, the full
 // 8×8 grid of Figure 6, PGD with 10 steps). On one CPU core this takes
 // hours-to-days; it exists so the experiment is *recoverable*, and is
@@ -99,13 +126,17 @@ func PaperScale() Scale {
 	}
 }
 
-// ScaleFromEnv returns PaperScale when SNNSEC_SCALE=paper, else
-// BenchScale.
+// ScaleFromEnv returns PaperScale when SNNSEC_SCALE=paper, TinyScale
+// when SNNSEC_SCALE=tiny, else BenchScale.
 func ScaleFromEnv() Scale {
-	if os.Getenv(ScaleEnv) == "paper" {
+	switch os.Getenv(ScaleEnv) {
+	case "paper":
 		return PaperScale()
+	case "tiny":
+		return TinyScale()
+	default:
+		return BenchScale()
 	}
-	return BenchScale()
 }
 
 func (s Scale) trainConfig() train.Config {
@@ -208,16 +239,14 @@ func RunFig1(s Scale, logw io.Writer) (*Fig1Result, error) {
 // ---------------------------------------------------------------------------
 // Figures 6, 7, 8 — the (Vth, T) exploration grid
 
-// RunGrid executes Algorithm 1 at this scale: it is the shared engine of
-// Figures 6 (clean-accuracy heat map), 7 and 8 (robustness heat maps).
-func RunGrid(s Scale, logw io.Writer) (*explore.Result, error) {
-	trainDS, testDS, err := LoadData(s.Data)
-	if err != nil {
-		return nil, err
-	}
+// GridConfig assembles the explore configuration of Algorithm 1 at this
+// scale. It is the single construction point shared by the in-process
+// RunGrid and the distributed grid job builder, so a sharded run
+// reproduces the single-process configuration exactly.
+func (s Scale) GridConfig() explore.Config {
 	tcfg := s.trainConfig()
 	tcfg.Optimizer = nil // one optimiser per grid point, built below
-	cfg := explore.Config{
+	return explore.Config{
 		Vths:              s.Vths,
 		Ts:                s.Ts,
 		Epsilons:          s.HeatmapEpsilons,
@@ -232,7 +261,16 @@ func RunGrid(s Scale, logw io.Writer) (*explore.Result, error) {
 			return NewSpikingLeNet5(s.Net, vth, T, SNNOptions{})
 		},
 	}
-	res, err := explore.Run(cfg, trainDS, testDS)
+}
+
+// RunGrid executes Algorithm 1 at this scale: it is the shared engine of
+// Figures 6 (clean-accuracy heat map), 7 and 8 (robustness heat maps).
+func RunGrid(s Scale, logw io.Writer) (*explore.Result, error) {
+	trainDS, testDS, err := LoadData(s.Data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := explore.Run(s.GridConfig(), trainDS, testDS)
 	if err != nil {
 		return nil, err
 	}

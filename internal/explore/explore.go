@@ -60,9 +60,25 @@ type Config struct {
 	Seed uint64
 }
 
-func (c *Config) validate() error {
+// Validate checks the configuration and fills defaulted fields. Run and
+// the per-point entry points call it internally; distributed coordinators
+// call it up front to learn the grid dimensions.
+func (c *Config) Validate() error {
 	if len(c.Vths) == 0 || len(c.Ts) == 0 {
 		return fmt.Errorf("explore: empty (Vth, T) grid")
+	}
+	// Zero axis values are rejected so that a zero-valued Point is an
+	// unambiguous "never computed" marker in partial (checkpointed or
+	// merged) results.
+	for _, v := range c.Vths {
+		if v <= 0 {
+			return fmt.Errorf("explore: threshold Vth must be positive, got %g", v)
+		}
+	}
+	for _, t := range c.Ts {
+		if t <= 0 {
+			return fmt.Errorf("explore: time window T must be positive, got %d", t)
+		}
 	}
 	if len(c.Epsilons) == 0 {
 		return fmt.Errorf("explore: no noise budgets")
@@ -154,6 +170,38 @@ func (r *Result) At(vi, ti int) *Point {
 	return &r.Points[ti*len(r.Vths)+vi]
 }
 
+// NewPartialResult returns a Result with the given axes and every point
+// unset (zero-valued). Distributed coordinators fill it point by point
+// with Set as shards report in; because valid grids have Vth > 0 and
+// T > 0, an unset point is recognisable by its zero T.
+func NewPartialResult(vths []float64, ts []int, epsilons []float64) *Result {
+	return &Result{
+		Vths:     append([]float64(nil), vths...),
+		Ts:       append([]int(nil), ts...),
+		Epsilons: append([]float64(nil), epsilons...),
+		Points:   make([]Point, len(vths)*len(ts)),
+	}
+}
+
+// Set stores the point at grid index idx (T-major).
+func (r *Result) Set(idx int, p Point) { r.Points[idx] = p }
+
+// Computed reports whether the point at idx has been filled in.
+func (r *Result) Computed(idx int) bool { return r.Points[idx].T != 0 }
+
+// MissingIndices returns the grid indices that have not been computed —
+// empty for a complete result, the remaining work-list for a partial
+// (checkpoint-resumed or budget-limited) one.
+func (r *Result) MissingIndices() []int {
+	var out []int
+	for i := range r.Points {
+		if !r.Computed(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Lookup finds the point with the exact (vth, t), if present.
 func (r *Result) Lookup(vth float64, t int) (*Point, bool) {
 	for i := range r.Points {
@@ -202,7 +250,7 @@ func (s *Sweep) At(vi, ti int) *TrainedPoint {
 // TrainGrid trains one network per (Vth, T) point on a worker pool and
 // applies the learnability gate — lines 1-4 of Algorithm 1.
 func TrainGrid(cfg Config, trainDS, testDS *dataset.Dataset) (*Sweep, error) {
-	if err := (&cfg).validate(); err != nil {
+	if err := (&cfg).Validate(); err != nil {
 		return nil, err
 	}
 	sw := &Sweep{
@@ -230,29 +278,93 @@ func (s *Sweep) AttackAll(testDS *dataset.Dataset, epsilons []float64) *Result {
 	bounds := attack.DatasetBounds(testDS)
 	forEachPoint(cfg, func(vi, ti int, be compute.Backend) {
 		idx := ti*len(cfg.Vths) + vi
-		tp := &s.Points[idx]
-		pt := Point{
-			Vth:           tp.Vth,
-			T:             tp.T,
-			CleanAccuracy: tp.CleanAccuracy,
-			Learnable:     tp.Learnable,
-			Err:           tp.Err,
-		}
-		if tp.Learnable && tp.Err == nil {
-			pt.Robustness = attack.CurveOn(be, tp.Net, testDS, epsilons, func(eps float64) attack.Attack {
-				return attack.PGD{
-					Eps:         eps,
-					Steps:       cfg.AttackSteps,
-					RandomStart: true,
-					Rand:        tensor.NewRand(cfg.Seed+uint64(idx), 0xa77ac4),
-					Bounds:      bounds,
-					Backend:     be,
-				}
-			}, cfg.EvalBatch)
-		}
-		res.Points[idx] = pt
+		res.Points[idx] = attackPoint(cfg, be, idx, &s.Points[idx], testDS, epsilons, bounds)
 	})
 	return res
+}
+
+// attackPoint runs lines 5-16 of Algorithm 1 for one trained point. The
+// PGD generator derives from (cfg.Seed, idx) alone, so the outcome does
+// not depend on which worker — goroutine or process — executes it.
+func attackPoint(cfg Config, be compute.Backend, idx int, tp *TrainedPoint, testDS *dataset.Dataset, epsilons []float64, bounds attack.Bounds) Point {
+	pt := Point{
+		Vth:           tp.Vth,
+		T:             tp.T,
+		CleanAccuracy: tp.CleanAccuracy,
+		Learnable:     tp.Learnable,
+		Err:           tp.Err,
+	}
+	if tp.Learnable && tp.Err == nil {
+		pt.Robustness = attack.CurveOn(be, tp.Net, testDS, epsilons, func(eps float64) attack.Attack {
+			return attack.PGD{
+				Eps:         eps,
+				Steps:       cfg.AttackSteps,
+				RandomStart: true,
+				Rand:        tensor.NewRand(cfg.Seed+uint64(idx), 0xa77ac4),
+				Bounds:      bounds,
+				Backend:     be,
+			}
+		}, cfg.EvalBatch)
+	}
+	return pt
+}
+
+// ---------------------------------------------------------------------------
+// Per-point entry points — the unit of distributed execution
+//
+// A distributed grid engine (internal/grid) runs one point at a time in a
+// worker process and merges the streamed results. The contract that makes
+// the merge bit-identical to the single-process Run is that every source
+// of randomness under a point — the training-set shuffle, the network's
+// weight initialisation and encoder stream (owned by cfg.Build), and the
+// PGD start points — derives from cfg.Seed and the point's T-major grid
+// index alone, never from shared or sequential state.
+
+// TrainPointAt validates cfg and trains the idx-th grid point (T-major)
+// on be — lines 3-4 of Algorithm 1 for a single point. A nil backend
+// selects a backend of cfg.KernelWorkers width.
+func TrainPointAt(cfg Config, be compute.Backend, idx int, trainDS, testDS *dataset.Dataset) (TrainedPoint, error) {
+	if err := (&cfg).Validate(); err != nil {
+		return TrainedPoint{}, err
+	}
+	if idx < 0 || idx >= len(cfg.Vths)*len(cfg.Ts) {
+		return TrainedPoint{}, fmt.Errorf("explore: point index %d out of a %d-point grid", idx, len(cfg.Vths)*len(cfg.Ts))
+	}
+	if be == nil {
+		be = cfg.backend()
+	}
+	vi, ti := idx%len(cfg.Vths), idx/len(cfg.Vths)
+	return trainPoint(cfg, be, cfg.Vths[vi], cfg.Ts[ti], uint64(idx), trainDS, testDS), nil
+}
+
+// AttackPointAt evaluates the robustness sweep (lines 5-16) for a point
+// trained by TrainPointAt and assembles its grid Point.
+func AttackPointAt(cfg Config, be compute.Backend, idx int, tp *TrainedPoint, testDS *dataset.Dataset, epsilons []float64) (Point, error) {
+	if err := (&cfg).Validate(); err != nil {
+		return Point{}, err
+	}
+	if idx < 0 || idx >= len(cfg.Vths)*len(cfg.Ts) {
+		return Point{}, fmt.Errorf("explore: point index %d out of a %d-point grid", idx, len(cfg.Vths)*len(cfg.Ts))
+	}
+	if be == nil {
+		be = cfg.backend()
+	}
+	return attackPoint(cfg, be, idx, tp, testDS, epsilons, attack.DatasetBounds(testDS)), nil
+}
+
+// RunPointAt executes Algorithm 1 for one grid point: train, gate,
+// robustness sweep at cfg.Epsilons. It returns the trained point as well
+// so callers can snapshot the model.
+func RunPointAt(cfg Config, be compute.Backend, idx int, trainDS, testDS *dataset.Dataset) (TrainedPoint, Point, error) {
+	tp, err := TrainPointAt(cfg, be, idx, trainDS, testDS)
+	if err != nil {
+		return TrainedPoint{}, Point{}, err
+	}
+	pt, err := AttackPointAt(cfg, be, idx, &tp, testDS, cfg.Epsilons)
+	if err != nil {
+		return TrainedPoint{}, Point{}, err
+	}
+	return tp, pt, nil
 }
 
 // Run executes Algorithm 1 over the grid: train → learnability gate →

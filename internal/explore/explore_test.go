@@ -261,6 +261,110 @@ func TestTrainGridThenAttackAll(t *testing.T) {
 	}
 }
 
+// TestTrainPointDeterminismAcrossWorkers pins the contract the
+// distributed grid engine rests on: training grid point i in isolation —
+// on any worker, with any backend width — produces bit-identical weights
+// to the same point trained inside the full multi-worker sweep, because
+// every RNG stream under a point derives from (Seed, i) alone.
+func TestTrainPointDeterminismAcrossWorkers(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	cfg := fastConfig(12)
+	cfg.Vths = []float64{0.5, 0.75}
+	cfg.Train.Epochs = 5
+	// A shuffle generator exercises the per-point stream derivation (it
+	// is replaced per point, never shared).
+	cfg.Train.Shuffle = tensor.NewRand(99, 99)
+	cfg.Workers = 2
+
+	sw, err := TrainGrid(cfg, trainDS.Subset(0, trainDS.Len()), testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range sw.Points {
+		lone, err := TrainPointAt(cfg, nil, idx, trainDS.Subset(0, trainDS.Len()), testDS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSweep := &sw.Points[idx]
+		if lone.Err != nil || inSweep.Err != nil {
+			t.Fatalf("point %d failed: %v / %v", idx, lone.Err, inSweep.Err)
+		}
+		if lone.CleanAccuracy != inSweep.CleanAccuracy {
+			t.Errorf("point %d clean accuracy %v standalone vs %v in sweep", idx, lone.CleanAccuracy, inSweep.CleanAccuracy)
+		}
+		lp, sp := lone.Net.Params(), inSweep.Net.Params()
+		if len(lp) != len(sp) {
+			t.Fatalf("point %d param count %d vs %d", idx, len(lp), len(sp))
+		}
+		for pi := range lp {
+			a, b := lp[pi].Data.Data(), sp[pi].Data.Data()
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("point %d param %q[%d]: %v standalone vs %v in sweep — per-point RNG leaked shared state",
+						idx, lp[pi].Name, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRunPointAtMatchesRun(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	cfg := fastConfig(12)
+	res, err := Run(cfg, trainDS.Subset(0, trainDS.Len()), testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range res.Points {
+		_, pt, err := RunPointAt(cfg, nil, idx, trainDS.Subset(0, trainDS.Len()), testDS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Points[idx]
+		if pt.CleanAccuracy != want.CleanAccuracy || pt.Learnable != want.Learnable {
+			t.Errorf("point %d: standalone (%v, %v) vs sweep (%v, %v)",
+				idx, pt.CleanAccuracy, pt.Learnable, want.CleanAccuracy, want.Learnable)
+		}
+		if len(pt.Robustness) != len(want.Robustness) {
+			t.Fatalf("point %d robustness length %d vs %d", idx, len(pt.Robustness), len(want.Robustness))
+		}
+		for k := range pt.Robustness {
+			if pt.Robustness[k] != want.Robustness[k] {
+				t.Errorf("point %d eps %g: robust %v standalone vs %v in sweep",
+					idx, pt.Robustness[k].Eps, pt.Robustness[k].RobustAccuracy, want.Robustness[k].RobustAccuracy)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsZeroAxes(t *testing.T) {
+	trainDS, testDS := gridData(t)
+	bad := fastConfig(12)
+	bad.Vths = []float64{0, 1}
+	if _, err := Run(bad, trainDS, testDS); err == nil {
+		t.Error("zero Vth accepted")
+	}
+	bad = fastConfig(12)
+	bad.Ts = []int{0, 2}
+	if _, err := Run(bad, trainDS, testDS); err == nil {
+		t.Error("zero T accepted")
+	}
+}
+
+func TestPartialResultBookkeeping(t *testing.T) {
+	res := NewPartialResult([]float64{0.5, 1}, []int{2}, []float64{1})
+	if got := res.MissingIndices(); len(got) != 2 {
+		t.Fatalf("fresh partial result missing %v, want 2 indices", got)
+	}
+	res.Set(1, Point{Vth: 1, T: 2, CleanAccuracy: 0.9})
+	if !res.Computed(1) || res.Computed(0) {
+		t.Error("Computed flags wrong after Set")
+	}
+	if got := res.MissingIndices(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("MissingIndices = %v, want [0]", got)
+	}
+}
+
 func TestSweepAtIndexing(t *testing.T) {
 	sw := &Sweep{
 		Config: Config{Vths: []float64{1, 2}, Ts: []int{3, 4}},

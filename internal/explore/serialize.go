@@ -15,16 +15,53 @@ type jsonResult struct {
 	Vths     []float64   `json:"vths"`
 	Ts       []int       `json:"ts"`
 	Epsilons []float64   `json:"epsilons"`
-	Points   []jsonPoint `json:"points"`
+	Points   []WirePoint `json:"points"`
 }
 
-type jsonPoint struct {
+// WirePoint is the stable JSON schema of one grid point. It is the unit
+// shared by result files (WriteJSON/ReadJSON), per-point checkpoint files
+// and the distributed grid protocol, so a point computed anywhere
+// round-trips to the same Point: encoding/json renders float64 in the
+// shortest form that parses back to the identical bits, and the error is
+// flattened to its message.
+type WirePoint struct {
 	Vth        float64             `json:"vth"`
 	T          int                 `json:"t"`
 	CleanAcc   float64             `json:"clean_accuracy"`
 	Learnable  bool                `json:"learnable"`
 	Robustness []attack.CurvePoint `json:"robustness,omitempty"`
 	Err        string              `json:"error,omitempty"`
+}
+
+// Wire converts a point to its serialisable form.
+func (p *Point) Wire() WirePoint {
+	wp := WirePoint{
+		Vth:        p.Vth,
+		T:          p.T,
+		CleanAcc:   p.CleanAccuracy,
+		Learnable:  p.Learnable,
+		Robustness: p.Robustness,
+	}
+	if p.Err != nil {
+		wp.Err = p.Err.Error()
+	}
+	return wp
+}
+
+// Point converts the wire form back. The inverse of Wire up to error
+// identity: a non-empty Err becomes a fresh error with the same message.
+func (wp WirePoint) Point() Point {
+	p := Point{
+		Vth:           wp.Vth,
+		T:             wp.T,
+		CleanAccuracy: wp.CleanAcc,
+		Learnable:     wp.Learnable,
+		Robustness:    wp.Robustness,
+	}
+	if wp.Err != "" {
+		p.Err = fmt.Errorf("%s", wp.Err)
+	}
+	return p
 }
 
 // WriteJSON serialises the result. Grid sweeps are expensive (hours at
@@ -35,20 +72,10 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Vths:     r.Vths,
 		Ts:       r.Ts,
 		Epsilons: r.Epsilons,
-		Points:   make([]jsonPoint, len(r.Points)),
+		Points:   make([]WirePoint, len(r.Points)),
 	}
-	for i, p := range r.Points {
-		jp := jsonPoint{
-			Vth:        p.Vth,
-			T:          p.T,
-			CleanAcc:   p.CleanAccuracy,
-			Learnable:  p.Learnable,
-			Robustness: p.Robustness,
-		}
-		if p.Err != nil {
-			jp.Err = p.Err.Error()
-		}
-		jr.Points[i] = jp
+	for i := range r.Points {
+		jr.Points[i] = r.Points[i].Wire()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -74,18 +101,8 @@ func ReadJSON(r io.Reader) (*Result, error) {
 		Epsilons: jr.Epsilons,
 		Points:   make([]Point, len(jr.Points)),
 	}
-	for i, jp := range jr.Points {
-		p := Point{
-			Vth:           jp.Vth,
-			T:             jp.T,
-			CleanAccuracy: jp.CleanAcc,
-			Learnable:     jp.Learnable,
-			Robustness:    jp.Robustness,
-		}
-		if jp.Err != "" {
-			p.Err = fmt.Errorf("%s", jp.Err)
-		}
-		res.Points[i] = p
+	for i := range jr.Points {
+		res.Points[i] = jr.Points[i].Point()
 	}
 	return res, nil
 }

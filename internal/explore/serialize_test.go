@@ -2,7 +2,9 @@ package explore
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -74,6 +76,88 @@ func TestJSONFileRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestWirePointBitExactRoundTrip pins the property the distributed
+// grid's merge depends on: a point serialised to its wire form (the
+// checkpoint and protocol format) and parsed back is bit-identical,
+// float bits included.
+func TestWirePointBitExactRoundTrip(t *testing.T) {
+	// Accuracies from real division land on non-terminating binary
+	// fractions — the case where shortest-form float encoding matters.
+	orig := Point{
+		Vth: 0.75, T: 12,
+		CleanAccuracy: 23.0 / 29.0,
+		Learnable:     true,
+		Robustness: []attack.CurvePoint{
+			{Eps: 0.1, RobustAccuracy: 17.0 / 31.0},
+			{Eps: 1.5, RobustAccuracy: 1.0 / 3.0},
+		},
+	}
+	raw, err := json.Marshal(orig.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wp WirePoint
+	if err := json.Unmarshal(raw, &wp); err != nil {
+		t.Fatal(err)
+	}
+	got := wp.Point()
+	if math.Float64bits(got.CleanAccuracy) != math.Float64bits(orig.CleanAccuracy) {
+		t.Errorf("clean accuracy bits changed: %x vs %x",
+			math.Float64bits(got.CleanAccuracy), math.Float64bits(orig.CleanAccuracy))
+	}
+	for i := range orig.Robustness {
+		if got.Robustness[i] != orig.Robustness[i] {
+			t.Errorf("robustness %d changed: %+v vs %+v", i, got.Robustness[i], orig.Robustness[i])
+		}
+	}
+	if got.Vth != orig.Vth || got.T != orig.T || got.Learnable != orig.Learnable {
+		t.Errorf("point fields changed: %+v vs %+v", got, orig)
+	}
+	// Errors flatten to their message.
+	failed := Point{Vth: 1, T: 2, Err: errors.New("boom")}
+	back := failed.Wire().Point()
+	if back.Err == nil || back.Err.Error() != "boom" {
+		t.Errorf("error not preserved: %v", back.Err)
+	}
+}
+
+// TestPartialCheckpointMergeEqualsOriginal is the checkpoint round trip
+// of a distributed run in miniature: every point of a result is written
+// as an individual wire file, reloaded in scrambled order into a partial
+// result, and the merge must serialise byte-identically to the original.
+func TestPartialCheckpointMergeEqualsOriginal(t *testing.T) {
+	orig := roundTripResult()
+	var files [][]byte
+	for i := range orig.Points {
+		raw, err := json.Marshal(orig.Points[i].Wire())
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, raw)
+	}
+	merged := NewPartialResult(orig.Vths, orig.Ts, orig.Epsilons)
+	for _, i := range []int{2, 0, 3, 1} { // arrival order must not matter
+		var wp WirePoint
+		if err := json.Unmarshal(files[i], &wp); err != nil {
+			t.Fatal(err)
+		}
+		merged.Set(i, wp.Point())
+	}
+	if missing := merged.MissingIndices(); len(missing) != 0 {
+		t.Fatalf("merged result still missing %v", missing)
+	}
+	var origJSON, mergedJSON bytes.Buffer
+	if err := orig.WriteJSON(&origJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&mergedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(origJSON.Bytes(), mergedJSON.Bytes()) {
+		t.Errorf("merged result differs from original:\n got: %s\nwant: %s", mergedJSON.Bytes(), origJSON.Bytes())
 	}
 }
 

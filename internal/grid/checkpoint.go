@@ -1,0 +1,160 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"snnsec/internal/explore"
+)
+
+// Checkpoint layout (one directory per run):
+//
+//	manifest.json    — grid axes + spec fingerprint; written once at start
+//	point-00042.json — one explore.WirePoint per completed grid point
+//	model-00042.snn  — modelio snapshot of the point's trained network
+//
+// Point files are written atomically (temp file + rename), so a run
+// killed at any moment leaves either a complete point or no point —
+// never a torn one — and a resume re-runs at most the in-flight points.
+// The files are plain JSON/modelio so external tooling (or a human) can
+// inspect partial results without the coordinator.
+
+const manifestName = "manifest.json"
+
+// manifest pins a checkpoint directory to one job.
+type manifest struct {
+	Version     int       `json:"version"`
+	Builder     string    `json:"builder"`
+	Fingerprint string    `json:"fingerprint"`
+	Vths        []float64 `json:"vths"`
+	Ts          []int     `json:"ts"`
+	Epsilons    []float64 `json:"epsilons"`
+}
+
+// checkpoint is the coordinator's handle on the directory.
+type checkpoint struct {
+	dir string
+}
+
+func pointFile(idx int) string { return fmt.Sprintf("point-%05d.json", idx) }
+func modelFile(idx int) string { return fmt.Sprintf("model-%05d.snn", idx) }
+
+// initCheckpoint creates dir (if needed) and writes the manifest. It
+// refuses a directory already holding a different job's manifest, and —
+// unless resume is set — one holding any manifest at all, so a stale
+// checkpoint is never silently mixed into a fresh run.
+func initCheckpoint(dir string, spec Spec, cfg *explore.Config, resume bool) (*checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	want := manifest{
+		Version:     1,
+		Builder:     spec.Builder,
+		Fingerprint: spec.Fingerprint(),
+		Vths:        cfg.Vths,
+		Ts:          cfg.Ts,
+		Epsilons:    cfg.Epsilons,
+	}
+	path := filepath.Join(dir, manifestName)
+	if raw, err := os.ReadFile(path); err == nil {
+		var have manifest
+		if err := json.Unmarshal(raw, &have); err != nil {
+			return nil, fmt.Errorf("grid: corrupt checkpoint manifest %s: %w", path, err)
+		}
+		if have.Fingerprint != want.Fingerprint {
+			short := have.Fingerprint
+			if len(short) > 12 {
+				short = short[:12]
+			}
+			return nil, fmt.Errorf("grid: checkpoint %s belongs to a different job (builder %q, fingerprint %q…)",
+				dir, have.Builder, short)
+		}
+		if !resume {
+			return nil, fmt.Errorf("grid: checkpoint %s already exists; pass resume to continue it", dir)
+		}
+		return &checkpoint{dir: dir}, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	raw, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicWrite(path, raw); err != nil {
+		return nil, err
+	}
+	return &checkpoint{dir: dir}, nil
+}
+
+// load returns the completed points recorded in the directory, keyed by
+// grid index. Unparsable point files are reported, not skipped: a resume
+// must not silently recompute (or worse, drop) a point that was counted
+// as done.
+func (c *checkpoint) load() (map[int]explore.Point, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[int]explore.Point)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "point-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(name, "point-%d.json", &idx); err != nil {
+			return nil, fmt.Errorf("grid: unrecognised checkpoint file %s", name)
+		}
+		raw, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var wp explore.WirePoint
+		if err := json.Unmarshal(raw, &wp); err != nil {
+			return nil, fmt.Errorf("grid: corrupt checkpoint point %s: %w", name, err)
+		}
+		done[idx] = wp.Point()
+	}
+	return done, nil
+}
+
+// savePoint durably records one completed point (and its optional model
+// snapshot). The model is written first so a point file never exists
+// without its snapshot.
+func (c *checkpoint) savePoint(idx int, wp *explore.WirePoint, model []byte) error {
+	if len(model) > 0 {
+		if err := atomicWrite(filepath.Join(c.dir, modelFile(idx)), model); err != nil {
+			return err
+		}
+	}
+	raw, err := json.Marshal(wp)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(c.dir, pointFile(idx)), raw)
+}
+
+// atomicWrite writes data to path via a temp file and rename, fsyncing
+// the file so a completed point survives the process being killed.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,457 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/explore"
+)
+
+// Launcher starts (or attaches) the worker for one shard and returns its
+// transport. ExecLauncher spawns snnsec grid-worker subprocesses; remote
+// launchers can return any duplex stream speaking the worker protocol.
+type Launcher func(shard int) (Transport, error)
+
+// Options configure a distributed run.
+type Options struct {
+	// Shards is the worker-process count (default 1). It is clamped to
+	// the number of pending points.
+	Shards int
+	// KernelWorkers is the compute-backend width handed to each worker
+	// process. The default divides the coordinator's CPU budget (the
+	// default backend's width) by the shard count, extending explore's
+	// Workers × KernelWorkers ≤ NumCPU budgeting across processes; set it
+	// explicitly when shards run on other machines.
+	KernelWorkers int
+	// CheckpointDir, when non-empty, persists every completed point (and
+	// optional model snapshot) so a killed run can resume.
+	CheckpointDir string
+	// Resume loads previously completed points from CheckpointDir and
+	// schedules only the rest. Without it, an existing checkpoint is an
+	// error rather than silently reused.
+	Resume bool
+	// SnapshotModels additionally stores each trained point's network in
+	// the checkpoint (modelio format). Requires CheckpointDir.
+	SnapshotModels bool
+	// MaxPoints bounds how many new points this invocation computes
+	// (0 = no bound). The run then returns a partial result — resumable
+	// from the checkpoint, so CheckpointDir is required — which is how
+	// budgeted sweeps and the CI resume smoke slice a grid across
+	// invocations.
+	MaxPoints int
+	// Launch starts the shard workers; required.
+	Launch Launcher
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Run executes the grid job across worker processes and merges the
+// streamed points into an explore.Result. The merge is bit-identical to
+// the single-process explore.Run of the same job (see the package
+// comment). The result is partial — with unset points — when MaxPoints
+// was hit or ctx was cancelled; in the latter case the context error is
+// returned alongside the checkpointed partial result.
+func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) {
+	// The coordinator needs only the job's grid axes; datasets are loaded
+	// lazily by the workers.
+	job, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := job.Config
+	if err := (&cfg).Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Launch == nil {
+		return nil, fmt.Errorf("grid: no launcher configured")
+	}
+	if opts.SnapshotModels && opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("grid: SnapshotModels requires CheckpointDir")
+	}
+	if opts.Resume && opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("grid: Resume requires CheckpointDir")
+	}
+	if opts.MaxPoints > 0 && opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("grid: MaxPoints produces a partial result that is only useful with a CheckpointDir to resume from")
+	}
+
+	res := explore.NewPartialResult(cfg.Vths, cfg.Ts, cfg.Epsilons)
+	var ck *checkpoint
+	if opts.CheckpointDir != "" {
+		ck, err = initCheckpoint(opts.CheckpointDir, spec, &cfg, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Resume {
+			done, err := ck.load()
+			if err != nil {
+				return nil, err
+			}
+			for idx, p := range done {
+				if idx < 0 || idx >= len(res.Points) {
+					return nil, fmt.Errorf("grid: checkpoint point %d out of a %d-point grid", idx, len(res.Points))
+				}
+				res.Set(idx, p)
+			}
+			logf(opts.Log, "grid: resumed %d/%d points from %s\n", len(done), len(res.Points), opts.CheckpointDir)
+		}
+	}
+	pending := res.MissingIndices()
+	if len(pending) == 0 {
+		return res, nil
+	}
+
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(pending) {
+		shards = len(pending)
+	}
+	kernelWorkers := opts.KernelWorkers
+	if kernelWorkers <= 0 {
+		kernelWorkers = compute.Default().Workers() / shards
+		if kernelWorkers < 1 {
+			kernelWorkers = 1
+		}
+	}
+	logf(opts.Log, "grid: %d points over %d shards, %d kernel workers each\n", len(pending), shards, kernelWorkers)
+
+	co := &coordinator{
+		spec:          spec,
+		sched:         newScheduler(pending, shards, opts.MaxPoints),
+		res:           res,
+		ck:            ck,
+		wantModel:     opts.SnapshotModels,
+		kernelWorkers: kernelWorkers,
+		log:           opts.Log,
+		total:         len(res.Points),
+		resumed:       len(res.Points) - len(pending),
+	}
+
+	// Cancellation: stop handing out work and close the transports so
+	// workers blocked in reads unwind. Completed points are already on
+	// disk, so a cancelled (or killed) run resumes from its checkpoint.
+	cancelDone := make(chan struct{})
+	defer close(cancelDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			co.sched.stop()
+			co.closeTransports()
+		case <-cancelDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for w := 0; w < shards; w++ {
+		t, err := opts.Launch(w)
+		if err != nil {
+			// Launch failures degrade the shard count; the remaining
+			// workers absorb the block through stealing.
+			errs[w] = fmt.Errorf("grid: launching shard %d: %w", w, err)
+			logf(opts.Log, "grid: shard %d failed to launch: %v\n", w, err)
+			continue
+		}
+		co.addTransport(t)
+		wg.Add(1)
+		go func(w int, t Transport) {
+			defer wg.Done()
+			defer t.Close()
+			if err := co.serveShard(w, t); err != nil {
+				errs[w] = err
+				logf(opts.Log, "grid: shard %d failed: %v\n", w, err)
+			}
+		}(w, t)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	// A failed checkpoint write voids the durability promise even when
+	// every point completed in memory — never report such a run clean.
+	if err := co.fatalError(); err != nil {
+		return res, err
+	}
+	if rem := co.sched.pendingCount(); rem > 0 {
+		if co.sched.budgetExhausted() {
+			logf(opts.Log, "grid: point budget reached, %d points remain (resume from the checkpoint to continue)\n", rem)
+			return res, nil
+		}
+		return res, errors.Join(append([]error{fmt.Errorf("grid: run incomplete, %d points remain", rem)}, errs...)...)
+	}
+	return res, nil
+}
+
+// coordinator is the shared state of one Run.
+type coordinator struct {
+	spec          Spec
+	sched         *scheduler
+	ck            *checkpoint
+	wantModel     bool
+	kernelWorkers int
+	log           io.Writer
+	total         int
+	// resumed counts the points already complete before this run.
+	resumed int
+
+	mu         sync.Mutex
+	res        *explore.Result
+	transports []Transport
+	completed  int
+	// fatal records the first unrecoverable coordinator-side failure
+	// (a checkpoint that could not be written); it fails the run even
+	// when all points completed.
+	fatal error
+}
+
+func (co *coordinator) fatalError() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.fatal
+}
+
+func (co *coordinator) addTransport(t Transport) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.transports = append(co.transports, t)
+}
+
+func (co *coordinator) closeTransports() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, t := range co.transports {
+		t.Close()
+	}
+}
+
+// serveShard drives one worker: hello, then a pull loop — the worker
+// announces ready, the coordinator assigns the next point (its own block
+// first, then stolen stragglers). A transport error at any step returns
+// the in-flight point to the queue for reassignment to surviving shards.
+func (co *coordinator) serveShard(shard int, t Transport) (err error) {
+	c := newConn(t)
+	if err := c.send(message{
+		Type:          msgHello,
+		Builder:       co.spec.Builder,
+		Spec:          co.spec.Config,
+		KernelWorkers: co.kernelWorkers,
+		WantModel:     co.wantModel,
+	}); err != nil {
+		return fmt.Errorf("grid: shard %d hello: %w", shard, err)
+	}
+	inflight := -1
+	defer func() {
+		if inflight >= 0 {
+			co.sched.putBack(shard, inflight)
+			logf(co.log, "grid: shard %d lost point %d, requeued\n", shard, inflight)
+		}
+	}()
+	for {
+		m, err := c.recv()
+		if err != nil {
+			return fmt.Errorf("grid: shard %d: %w", shard, err)
+		}
+		switch m.Type {
+		case msgPointDone:
+			if m.Index != inflight || m.Point == nil {
+				return fmt.Errorf("grid: shard %d reported point %d, expected %d", shard, m.Index, inflight)
+			}
+			inflight = -1
+			co.sched.complete()
+			if err := co.record(shard, m); err != nil {
+				// A checkpoint that cannot be written voids the run's
+				// durability promise: halt everything rather than let the
+				// sweep continue unprotected.
+				co.sched.stop()
+				return err
+			}
+		case msgReady:
+			idx, ok := co.sched.next(shard)
+			if !ok {
+				_ = c.send(message{Type: msgDone})
+				return nil
+			}
+			inflight = idx
+			if err := c.send(message{Type: msgPoint, Index: idx}); err != nil {
+				return fmt.Errorf("grid: shard %d assigning point %d: %w", shard, idx, err)
+			}
+		default:
+			return fmt.Errorf("grid: shard %d sent unexpected %q", shard, m.Type)
+		}
+	}
+}
+
+// record merges one completed point into the result and persists it.
+func (co *coordinator) record(shard int, m message) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.res.Set(m.Index, m.Point.Point())
+	co.completed++
+	if co.ck != nil {
+		if err := co.ck.savePoint(m.Index, m.Point, m.Model); err != nil {
+			err = fmt.Errorf("grid: checkpointing point %d: %w", m.Index, err)
+			if co.fatal == nil {
+				co.fatal = err
+			}
+			return err
+		}
+	}
+	logf(co.log, "grid: point %d (Vth=%g, T=%d) done on shard %d [%d/%d]\n",
+		m.Index, m.Point.Vth, m.Point.T, shard, co.resumed+co.completed, co.total)
+	return nil
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: static blocks + work stealing
+
+// scheduler hands out pending point indices. Each shard owns one
+// contiguous block (static assignment); a shard whose block drains
+// steals from the back of the richest remaining block. A shard with no
+// work left blocks until every in-flight point lands — if a straggler
+// shard dies, its point comes back and an idle shard picks it up.
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [][]int
+	inflight int
+	// budget is the remaining new-assignment allowance (-1 = unlimited).
+	budget int
+	// exhausted latches once a shard was turned away because the budget
+	// hit zero, so a later putBack refund cannot make the run look like a
+	// worker failure.
+	exhausted bool
+	stopped   bool
+}
+
+func newScheduler(pending []int, shards, maxPoints int) *scheduler {
+	s := &scheduler{queues: make([][]int, shards), budget: -1}
+	if maxPoints > 0 {
+		s.budget = maxPoints
+	}
+	s.cond = sync.NewCond(&s.mu)
+	// Contiguous blocks in index order, sized as evenly as possible.
+	per := len(pending) / shards
+	extra := len(pending) % shards
+	lo := 0
+	for w := 0; w < shards; w++ {
+		hi := lo + per
+		if w < extra {
+			hi++
+		}
+		s.queues[w] = append([]int(nil), pending[lo:hi]...)
+		lo = hi
+	}
+	return s
+}
+
+// next returns the next point for a shard, blocking while other shards
+// still have points in flight (their failure may produce new work). The
+// second return is false when the shard should shut down: no work left,
+// the assignment budget is spent, or the run was stopped.
+func (s *scheduler) next(shard int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.budget == 0 {
+			s.exhausted = true
+			return 0, false
+		}
+		if s.stopped {
+			return 0, false
+		}
+		if idx, ok := s.pop(shard); ok {
+			s.inflight++
+			if s.budget > 0 {
+				s.budget--
+			}
+			return idx, true
+		}
+		if s.inflight == 0 {
+			return 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// pop takes from the shard's own block first, then steals from the back
+// of the richest other block.
+func (s *scheduler) pop(shard int) (int, bool) {
+	if q := s.queues[shard]; len(q) > 0 {
+		idx := q[0]
+		s.queues[shard] = q[1:]
+		return idx, true
+	}
+	richest, max := -1, 0
+	for w, q := range s.queues {
+		if len(q) > max {
+			richest, max = w, len(q)
+		}
+	}
+	if richest < 0 {
+		return 0, false
+	}
+	q := s.queues[richest]
+	idx := q[len(q)-1]
+	s.queues[richest] = q[:len(q)-1]
+	return idx, true
+}
+
+// complete marks one in-flight point as landed.
+func (s *scheduler) complete() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	s.cond.Broadcast()
+}
+
+// putBack returns a lost in-flight point to its shard's queue and
+// refunds the assignment budget.
+func (s *scheduler) putBack(shard, idx int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queues[shard] = append([]int{idx}, s.queues[shard]...)
+	s.inflight--
+	if s.budget >= 0 {
+		s.budget++
+	}
+	s.cond.Broadcast()
+}
+
+// stop makes every subsequent (and blocked) next call return false.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+// pendingCount returns queued plus in-flight points.
+func (s *scheduler) pendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.inflight
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// budgetExhausted reports whether the MaxPoints allowance was used up.
+func (s *scheduler) budgetExhausted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exhausted || s.budget == 0
+}

@@ -1,0 +1,515 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"snnsec/internal/dataset"
+	"snnsec/internal/explore"
+	"snnsec/internal/nn"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+	"snnsec/internal/train"
+)
+
+// testJobSpec parameterises the registered test builder. Everything the
+// job needs travels through it, exactly like a real distributed spec.
+type testJobSpec struct {
+	ImageSize int       `json:"image_size"`
+	TrainN    int       `json:"train_n"`
+	TestN     int       `json:"test_n"`
+	Vths      []float64 `json:"vths"`
+	Ts        []int     `json:"ts"`
+}
+
+func init() {
+	Register("grid-test", func(raw json.RawMessage) (Job, error) {
+		var js testJobSpec
+		if err := json.Unmarshal(raw, &js); err != nil {
+			return Job{}, err
+		}
+		mk := func(n int, seed uint64) (*dataset.Dataset, error) {
+			sc := dataset.DefaultSynthConfig(n, seed)
+			sc.Size = js.ImageSize
+			d, err := dataset.SynthDigits(sc)
+			if err != nil {
+				return nil, err
+			}
+			d.Normalize()
+			return d, nil
+		}
+		cfg := explore.Config{
+			Vths:              js.Vths,
+			Ts:                js.Ts,
+			Epsilons:          []float64{0.5, 1.5},
+			AccuracyThreshold: 0.4,
+			Train: train.Config{
+				Epochs:    3,
+				BatchSize: 20,
+				GradClip:  5,
+				Shuffle:   tensor.NewRand(7, 7), // per-point stream derived by explore
+			},
+			NewOptimizer: func() train.Optimizer { return train.NewAdam(1e-2) },
+			AttackSteps:  2,
+			EvalBatch:    32,
+			Seed:         3,
+			Build: func(vth float64, T int) (*snn.Network, error) {
+				r := tensor.NewRand(11, 0)
+				ncfg := snn.NeuronConfig{Vth: vth, Alpha: 0.9, Reset: snn.ResetZero, Surrogate: snn.FastSigmoid{Beta: 10}}
+				return &snn.Network{
+					Encoder: snn.ConstantCurrentEncoder{Gain: 1},
+					Hidden: []snn.Layer{
+						{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, js.ImageSize*js.ImageSize, 24)), Cfg: ncfg},
+					},
+					Readout:    nn.NewLinear(r, 24, 10),
+					ReadoutCfg: ncfg,
+					Mode:       snn.ReadoutMembrane,
+					T:          T,
+					LogitScale: 10,
+				}, nil
+			},
+		}
+		return Job{
+			Config: cfg,
+			Data: func() (*dataset.Dataset, *dataset.Dataset, error) {
+				trainDS, err := mk(js.TrainN, 1)
+				if err != nil {
+					return nil, nil, err
+				}
+				testDS, err := mk(js.TestN, 2)
+				if err != nil {
+					return nil, nil, err
+				}
+				return trainDS, testDS, nil
+			},
+		}, nil
+	})
+}
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	raw, err := json.Marshal(testJobSpec{
+		ImageSize: 12, TrainN: 80, TestN: 30,
+		Vths: []float64{0.5, 1}, Ts: []int{2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{Builder: "grid-test", Config: raw}
+}
+
+// singleProcessJSON runs the same job with the in-process explore.Run
+// and returns its serialised result — the bit-identity baseline.
+func singleProcessJSON(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	job, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS, testDS, err := job.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.Run(job.Config, trainDS, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultJSON(t, res)
+}
+
+func resultJSON(t *testing.T, res *explore.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ---------------------------------------------------------------------------
+// In-process transports
+
+// pipeTransport is the coordinator's end of an in-process worker.
+type pipeTransport struct {
+	r    *io.PipeReader
+	w    *io.PipeWriter
+	once sync.Once
+}
+
+func (p *pipeTransport) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipeTransport) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p *pipeTransport) Close() error {
+	p.once.Do(func() {
+		p.w.Close()
+		p.r.Close()
+	})
+	return nil
+}
+
+// inProcLauncher runs ServeWorker on a goroutine per shard, connected by
+// pipes — the protocol without the subprocess.
+func inProcLauncher() Launcher {
+	return func(shard int) (Transport, error) {
+		toWorkerR, toWorkerW := io.Pipe()
+		fromWorkerR, fromWorkerW := io.Pipe()
+		go func() {
+			_ = ServeWorker(toWorkerR, fromWorkerW)
+			fromWorkerW.Close()
+		}()
+		return &pipeTransport{r: fromWorkerR, w: toWorkerW}, nil
+	}
+}
+
+// dieAfterReader crashes a worker: it delivers n point assignments and
+// then reports EOF instead of the (n+1)-th, so the worker dies with that
+// point in flight at the coordinator.
+type dieAfterReader struct {
+	r          io.Reader
+	pointsLeft int
+}
+
+func (d *dieAfterReader) Read(p []byte) (int, error) {
+	n, err := d.r.Read(p)
+	if err != nil {
+		return n, err
+	}
+	if bytes.Contains(p[:n], []byte(`"type":"point"`)) {
+		if d.pointsLeft == 0 {
+			return 0, io.EOF
+		}
+		d.pointsLeft--
+	}
+	return n, err
+}
+
+// crashingLauncher makes the given shard die after serving n points;
+// other shards run normally.
+func crashingLauncher(crashShard, n int) Launcher {
+	healthy := inProcLauncher()
+	return func(shard int) (Transport, error) {
+		if shard != crashShard {
+			return healthy(shard)
+		}
+		toWorkerR, toWorkerW := io.Pipe()
+		fromWorkerR, fromWorkerW := io.Pipe()
+		go func() {
+			_ = ServeWorker(&dieAfterReader{r: toWorkerR, pointsLeft: n}, fromWorkerW)
+			fromWorkerW.Close()
+		}()
+		return &pipeTransport{r: fromWorkerR, w: toWorkerW}, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end distribution tests
+
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	spec := testSpec(t)
+	want := singleProcessJSON(t, spec)
+	res, err := Run(context.Background(), spec, Options{
+		Shards: 2,
+		Launch: inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, res); !bytes.Equal(got, want) {
+		t.Errorf("2-shard result differs from single-process run:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestCrashedWorkerPointsReassigned(t *testing.T) {
+	spec := testSpec(t)
+	want := singleProcessJSON(t, spec)
+	// Shard 1 dies with a point in flight; shard 0 must absorb its block.
+	res, err := Run(context.Background(), spec, Options{
+		Shards: 2,
+		Launch: crashingLauncher(1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, res); !bytes.Equal(got, want) {
+		t.Errorf("result after crash reassignment differs from single-process run")
+	}
+}
+
+func TestAllWorkersDeadFails(t *testing.T) {
+	spec := testSpec(t)
+	_, err := Run(context.Background(), spec, Options{
+		Shards: 1,
+		Launch: crashingLauncher(0, 0),
+	})
+	if err == nil {
+		t.Fatal("run with no surviving workers succeeded")
+	}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	spec := testSpec(t)
+	want := singleProcessJSON(t, spec)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	// Phase 1: compute two points, then stop (the budgeted form of a
+	// killed run — every completed point is already durable).
+	res, err := Run(context.Background(), spec, Options{
+		Shards:        2,
+		CheckpointDir: dir,
+		MaxPoints:     2,
+		Launch:        inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := res.MissingIndices(); len(missing) != 2 {
+		t.Fatalf("partial run left %d missing points, want 2", len(missing))
+	}
+
+	// Phase 2: resume from the checkpoint and finish.
+	res, err = Run(context.Background(), spec, Options{
+		Shards:        2,
+		CheckpointDir: dir,
+		Resume:        true,
+		Launch:        inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, res); !bytes.Equal(got, want) {
+		t.Errorf("resumed result differs from single-process run:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestKilledRunResumes(t *testing.T) {
+	spec := testSpec(t)
+	want := singleProcessJSON(t, spec)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	// Kill the coordinator after the first checkpointed point: cancel the
+	// context from the progress log, which fires inside record() — points
+	// may still land while the cancellation propagates, exactly like a
+	// real kill arriving mid-write.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, spec, Options{
+		Shards:        2,
+		CheckpointDir: dir,
+		Launch:        inProcLauncher(),
+		Log:           cancelOnFirstPoint{cancel: cancel},
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+
+	res, err := Run(context.Background(), spec, Options{
+		Shards:        2,
+		CheckpointDir: dir,
+		Resume:        true,
+		Launch:        inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, res); !bytes.Equal(got, want) {
+		t.Errorf("kill-and-resume result differs from single-process run")
+	}
+}
+
+// cancelOnFirstPoint cancels the run the first time a completed point is
+// logged.
+type cancelOnFirstPoint struct{ cancel context.CancelFunc }
+
+func (c cancelOnFirstPoint) Write(p []byte) (int, error) {
+	if bytes.Contains(p, []byte("done on shard")) {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+func TestModelSnapshotsWritten(t *testing.T) {
+	spec := testSpec(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	res, err := Run(context.Background(), spec, Options{
+		Shards:         2,
+		CheckpointDir:  dir,
+		SnapshotModels: true,
+		Launch:         inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		if res.Points[i].Err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, modelFile(i))); err != nil {
+			t.Errorf("point %d has no model snapshot: %v", i, err)
+		}
+	}
+}
+
+func TestCheckpointGuards(t *testing.T) {
+	spec := testSpec(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if _, err := Run(context.Background(), spec, Options{
+		Shards: 1, CheckpointDir: dir, MaxPoints: 1, Launch: inProcLauncher(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same directory without resume must be refused.
+	if _, err := Run(context.Background(), spec, Options{
+		Shards: 1, CheckpointDir: dir, Launch: inProcLauncher(),
+	}); err == nil {
+		t.Error("existing checkpoint reused without resume")
+	}
+	// A different job must be refused even with resume.
+	other, err := json.Marshal(testJobSpec{ImageSize: 12, TrainN: 60, TestN: 30, Vths: []float64{0.5}, Ts: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), Spec{Builder: "grid-test", Config: other}, Options{
+		Shards: 1, CheckpointDir: dir, Resume: true, Launch: inProcLauncher(),
+	}); err == nil {
+		t.Error("checkpoint of a different job accepted")
+	}
+}
+
+func TestSpecFingerprintIgnoresWhitespace(t *testing.T) {
+	a := Spec{Builder: "b", Config: json.RawMessage(`{"x": 1,  "y": [2]}`)}
+	b := Spec{Builder: "b", Config: json.RawMessage(`{"x":1,"y":[2]}`)}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on JSON whitespace")
+	}
+	c := Spec{Builder: "b", Config: json.RawMessage(`{"x":2,"y":[2]}`)}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint ignores config changes")
+	}
+	d := Spec{Builder: "other", Config: b.Config}
+	if b.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint ignores builder name")
+	}
+}
+
+func TestOptionsRequireCheckpointDir(t *testing.T) {
+	spec := testSpec(t)
+	if _, err := Run(context.Background(), spec, Options{
+		Shards: 1, Resume: true, Launch: inProcLauncher(),
+	}); err == nil {
+		t.Error("Resume without CheckpointDir accepted — a forgotten -checkpoint-dir would silently recompute the whole sweep")
+	}
+	if _, err := Run(context.Background(), spec, Options{
+		Shards: 1, MaxPoints: 1, Launch: inProcLauncher(),
+	}); err == nil {
+		t.Error("MaxPoints without CheckpointDir accepted — the partial result would not be resumable")
+	}
+	if _, err := Run(context.Background(), spec, Options{
+		Shards: 1, SnapshotModels: true, Launch: inProcLauncher(),
+	}); err == nil {
+		t.Error("SnapshotModels without CheckpointDir accepted")
+	}
+}
+
+func TestUnknownBuilder(t *testing.T) {
+	_, err := Run(context.Background(), Spec{Builder: "nope"}, Options{Shards: 1, Launch: inProcLauncher()})
+	if err == nil {
+		t.Error("unknown builder accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler unit tests
+
+func TestSchedulerStaticBlocks(t *testing.T) {
+	s := newScheduler([]int{0, 1, 2, 3, 4}, 2, 0)
+	// Shard 0 owns {0,1,2}, shard 1 owns {3,4}.
+	if idx, ok := s.next(1); !ok || idx != 3 {
+		t.Fatalf("shard 1 first point = %d, want 3", idx)
+	}
+	if idx, ok := s.next(0); !ok || idx != 0 {
+		t.Fatalf("shard 0 first point = %d, want 0", idx)
+	}
+}
+
+func TestSchedulerStealsFromRichest(t *testing.T) {
+	s := newScheduler([]int{0, 1, 2, 3, 4, 5}, 3, 0)
+	// Drain shard 2's block {4,5}.
+	s.next(2)
+	s.next(2)
+	s.complete()
+	s.complete()
+	// Next call steals from the back of the richest block — shard 0's
+	// {0,1} and shard 1's {2,3} tie at 2; the first richest wins, tail
+	// first.
+	if idx, ok := s.next(2); !ok || idx != 1 {
+		t.Fatalf("steal = %d, want 1 (tail of shard 0's block)", idx)
+	}
+}
+
+func TestSchedulerPutBackAndBudget(t *testing.T) {
+	s := newScheduler([]int{0, 1, 2}, 1, 2)
+	i0, _ := s.next(0)
+	s.putBack(0, i0)
+	// The refunded assignment still fits the budget of 2.
+	if idx, ok := s.next(0); !ok || idx != i0 {
+		t.Fatalf("requeued point = %d, want %d", idx, i0)
+	}
+	s.complete()
+	if _, ok := s.next(0); !ok {
+		t.Fatal("second budgeted assignment refused")
+	}
+	s.complete()
+	if _, ok := s.next(0); ok {
+		t.Fatal("assignment beyond MaxPoints budget")
+	}
+	if !s.budgetExhausted() {
+		t.Error("budget not reported exhausted")
+	}
+	if s.pendingCount() != 1 {
+		t.Errorf("pendingCount = %d, want 1", s.pendingCount())
+	}
+}
+
+func TestSchedulerBlocksUntilInflightLands(t *testing.T) {
+	s := newScheduler([]int{0, 1}, 2, 0)
+	if _, ok := s.next(0); !ok {
+		t.Fatal("shard 0 got no point")
+	}
+	got := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.next(1) // takes shard 1's own point
+		s.complete()
+		// Shard 1 is now idle but shard 0's point is in flight: this call
+		// must block until the putBack below, then reacquire it.
+		if idx, ok := s.next(1); ok {
+			got <- idx
+		}
+	}()
+	s.putBack(0, 0)
+	wg.Wait()
+	select {
+	case idx := <-got:
+		if idx != 0 {
+			t.Errorf("reassigned point = %d, want 0", idx)
+		}
+	default:
+		t.Error("idle shard did not pick up the requeued point")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("grid-test", nil)
+}

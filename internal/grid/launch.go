@@ -1,0 +1,64 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// ExecLauncher spawns one local worker subprocess per shard, speaking
+// the protocol over its stdin/stdout; stderr passes through to the
+// coordinator's stderr so worker logs stay visible. The CLI uses it as
+// ExecLauncher(os.Executable(), "grid-worker"); pointing name at a
+// wrapper script (ssh, docker run, …) is all a remote launch needs.
+func ExecLauncher(name string, args ...string) Launcher {
+	return func(shard int) (Transport, error) {
+		cmd := exec.Command(name, args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("grid: starting worker %q: %w", name, err)
+		}
+		return &execTransport{cmd: cmd, in: stdin, out: stdout}, nil
+	}
+}
+
+// execTransport is the coordinator's handle on a worker subprocess.
+type execTransport struct {
+	cmd  *exec.Cmd
+	in   io.WriteCloser
+	out  io.ReadCloser
+	once sync.Once
+	werr error
+}
+
+func (t *execTransport) Read(p []byte) (int, error)  { return t.out.Read(p) }
+func (t *execTransport) Write(p []byte) (int, error) { return t.in.Write(p) }
+
+// Close shuts the worker down: closing stdin makes a healthy worker exit
+// its read loop; a wedged one is killed after a grace period so Close
+// (and the coordinator) cannot hang on it. Close is idempotent — the
+// shard goroutine and the cancellation path may both call it.
+func (t *execTransport) Close() error {
+	t.once.Do(func() {
+		_ = t.in.Close()
+		killer := time.AfterFunc(10*time.Second, func() {
+			if t.cmd.Process != nil {
+				_ = t.cmd.Process.Kill()
+			}
+		})
+		defer killer.Stop()
+		t.werr = t.cmd.Wait()
+	})
+	return t.werr
+}

@@ -1,0 +1,94 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"snnsec/internal/explore"
+)
+
+// The wire protocol is one JSON object per line in each direction, so a
+// worker can be driven by anything that can pipe newline-delimited JSON
+// — the local exec launcher, an ssh wrapper, a container runtime.
+//
+// Coordinator → worker:
+//
+//	{"type":"hello","builder":…,"spec":…,"kernel_workers":k,"want_model":b}
+//	{"type":"point","index":i}        assign grid point i
+//	{"type":"done"}                   no more work; worker exits
+//
+// Worker → coordinator:
+//
+//	{"type":"ready"}                  hello processed / previous point sent
+//	{"type":"point_done","index":i,"point":…,"model":…}
+//	{"type":"fatal","err":…}          unrecoverable worker error
+//
+// A worker handles one point at a time (process-level parallelism is the
+// coordinator's job), so the conversation is a strict request/response
+// alternation after hello.
+const (
+	msgHello     = "hello"
+	msgPoint     = "point"
+	msgDone      = "done"
+	msgReady     = "ready"
+	msgPointDone = "point_done"
+	msgFatal     = "fatal"
+)
+
+// message is the single wire envelope of the protocol.
+type message struct {
+	Type string `json:"type"`
+
+	// hello fields.
+	Builder string          `json:"builder,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	// KernelWorkers is the compute-backend width the worker must run its
+	// tensor kernels at — its slice of the coordinator's CPU budget.
+	KernelWorkers int `json:"kernel_workers,omitempty"`
+	// WantModel asks the worker to attach a modelio snapshot of each
+	// successfully trained point (for checkpoint model files).
+	WantModel bool `json:"want_model,omitempty"`
+
+	// point / point_done fields. Index is the T-major grid index; no
+	// omitempty, 0 is a valid index.
+	Index int                `json:"index"`
+	Point *explore.WirePoint `json:"point,omitempty"`
+	// Model is the modelio checkpoint of the trained point
+	// (base64-encoded by encoding/json).
+	Model []byte `json:"model,omitempty"`
+
+	// fatal field.
+	Err string `json:"err,omitempty"`
+}
+
+// Transport is one duplex byte stream to a worker. Close must release
+// the underlying resources (pipes, the worker process).
+type Transport interface {
+	io.Reader
+	io.Writer
+	Close() error
+}
+
+// conn frames messages over a transport.
+type conn struct {
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func newConn(rw io.ReadWriter) *conn {
+	return &conn{enc: json.NewEncoder(rw), dec: json.NewDecoder(rw)}
+}
+
+func (c *conn) send(m message) error { return c.enc.Encode(m) }
+
+func (c *conn) recv() (message, error) {
+	var m message
+	if err := c.dec.Decode(&m); err != nil {
+		return message{}, err
+	}
+	if m.Type == msgFatal {
+		return m, fmt.Errorf("grid: peer reported: %s", m.Err)
+	}
+	return m, nil
+}

@@ -1,0 +1,93 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/explore"
+	"snnsec/internal/modelio"
+)
+
+// ServeWorker runs the worker side of the protocol over r/w — for the
+// snnsec grid-worker subcommand these are stdin and stdout, but any
+// byte stream works (the tests drive workers over in-process pipes).
+// It processes the hello, then serves assigned points one at a time
+// until the coordinator sends done or the stream closes. Per-point
+// failures travel inside the point (explore sweeps past them); only
+// errors that make the whole worker useless — an unknown builder, a
+// dataset that fails to load — are reported as fatal and returned.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	c := newConn(struct {
+		io.Reader
+		io.Writer
+	}{r, w})
+	hello, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("grid: worker reading hello: %w", err)
+	}
+	if hello.Type != msgHello {
+		return c.fatal(fmt.Errorf("grid: worker expected hello, got %q", hello.Type))
+	}
+	job, err := Spec{Builder: hello.Builder, Config: hello.Spec}.Build()
+	if err != nil {
+		return c.fatal(err)
+	}
+	trainDS, testDS, err := job.Data()
+	if err != nil {
+		return c.fatal(err)
+	}
+	cfg := job.Config
+	// The coordinator owns point-level parallelism; this process runs one
+	// point at a time on its assigned slice of the CPU budget.
+	cfg.Workers = 1
+	cfg.KernelWorkers = hello.KernelWorkers
+	if err := (&cfg).Validate(); err != nil {
+		return c.fatal(err)
+	}
+	be := compute.New(cfg.KernelWorkers)
+	for {
+		if err := c.send(message{Type: msgReady}); err != nil {
+			return fmt.Errorf("grid: worker sending ready: %w", err)
+		}
+		m, err := c.recv()
+		if err != nil {
+			return fmt.Errorf("grid: worker reading assignment: %w", err)
+		}
+		switch m.Type {
+		case msgDone:
+			return nil
+		case msgPoint:
+			tp, pt, err := explore.RunPointAt(cfg, be, m.Index, trainDS, testDS)
+			if err != nil {
+				return c.fatal(err)
+			}
+			wire := pt.Wire()
+			reply := message{Type: msgPointDone, Index: m.Index, Point: &wire}
+			if hello.WantModel && tp.Err == nil && tp.Net != nil {
+				snap, err := modelio.Bytes(map[string]string{
+					"model": "snn",
+					"vth":   strconv.FormatFloat(tp.Vth, 'g', -1, 64),
+					"T":     strconv.Itoa(tp.T),
+					"index": strconv.Itoa(m.Index),
+				}, tp.Net.Params())
+				if err != nil {
+					return c.fatal(fmt.Errorf("grid: snapshotting point %d: %w", m.Index, err))
+				}
+				reply.Model = snap
+			}
+			if err := c.send(reply); err != nil {
+				return fmt.Errorf("grid: worker sending point %d: %w", m.Index, err)
+			}
+		default:
+			return c.fatal(fmt.Errorf("grid: worker got unexpected %q", m.Type))
+		}
+	}
+}
+
+// fatal reports err to the coordinator (best effort) and returns it.
+func (c *conn) fatal(err error) error {
+	_ = c.send(message{Type: msgFatal, Err: err.Error()})
+	return err
+}

@@ -16,6 +16,7 @@ package modelio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -198,6 +199,22 @@ func (m *Model) Apply(params []*nn.Param) error {
 		params[i].Data.CopyFrom(sp.Data)
 	}
 	return nil
+}
+
+// Bytes serialises a checkpoint to memory — the form the distributed
+// grid protocol streams per-point model snapshots in.
+func Bytes(meta map[string]string, params []*nn.Param) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Save(&buf, meta, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FromBytes deserialises a checkpoint produced by Bytes (or read back
+// from a checkpoint file).
+func FromBytes(b []byte) (*Model, error) {
+	return Load(bytes.NewReader(b))
 }
 
 // SaveFile writes a checkpoint to path.

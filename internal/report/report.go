@@ -129,11 +129,17 @@ func (g *Grid) WriteMarkdown(w io.Writer) {
 }
 
 // AccuracyGrid converts an exploration result into the Figure-6 heat map
-// (clean accuracy per (Vth, T)).
+// (clean accuracy per (Vth, T)). Results may be partial — a checkpointed
+// distributed run rendered mid-sweep, or a budget-limited invocation —
+// in which case the never-computed points render as missing cells rather
+// than as zero accuracy.
 func AccuracyGrid(res *explore.Result) *Grid {
 	g := newGridFrom(res, "Clean accuracy heat map (Figure 6)")
 	for ti := range res.Ts {
 		for vi := range res.Vths {
+			if !res.Computed(ti*len(res.Vths) + vi) {
+				continue
+			}
 			g.Cells[ti][vi] = res.At(vi, ti).CleanAccuracy
 		}
 	}
@@ -141,8 +147,8 @@ func AccuracyGrid(res *explore.Result) *Grid {
 }
 
 // RobustnessGrid converts an exploration result into a Figure-7/8-style
-// heat map of robust accuracy at the given ε. Non-learnable points stay
-// NaN.
+// heat map of robust accuracy at the given ε. Non-learnable points — and
+// the never-computed points of a partial result — stay NaN.
 func RobustnessGrid(res *explore.Result, eps float64) *Grid {
 	g := newGridFrom(res, fmt.Sprintf("Robust accuracy heat map under PGD eps=%g (Figures 7/8)", eps))
 	for ti := range res.Ts {

@@ -141,6 +141,40 @@ func TestWriteCurvesAlignsSeries(t *testing.T) {
 	}
 }
 
+// TestGridsFromPartialResult: a partial (checkpointed/budget-limited)
+// result renders with its never-computed points as missing cells, not as
+// zero accuracy.
+func TestGridsFromPartialResult(t *testing.T) {
+	res := explore.NewPartialResult([]float64{0.5, 1}, []int{2, 4}, []float64{1})
+	res.Set(0, explore.Point{Vth: 0.5, T: 2, CleanAccuracy: 0.8, Learnable: true,
+		Robustness: []attack.CurvePoint{{Eps: 1, RobustAccuracy: 0.4}}})
+	res.Set(3, explore.Point{Vth: 1, T: 4, CleanAccuracy: 0.3})
+
+	acc := AccuracyGrid(res)
+	if v := acc.Cells[0][0]; v != 0.8 {
+		t.Errorf("computed cell = %v, want 0.8", v)
+	}
+	if !math.IsNaN(acc.Cells[0][1]) || !math.IsNaN(acc.Cells[1][0]) {
+		t.Error("missing points rendered as values instead of NaN")
+	}
+	if v := acc.Cells[1][1]; v != 0.3 {
+		t.Errorf("second computed cell = %v, want 0.3", v)
+	}
+	rob := RobustnessGrid(res, 1)
+	if v := rob.Cells[0][0]; v != 0.4 {
+		t.Errorf("robustness cell = %v, want 0.4", v)
+	}
+	if !math.IsNaN(rob.Cells[1][1]) {
+		t.Error("non-learnable computed point should stay NaN in robustness grid")
+	}
+	// The ASCII rendering shows missing cells as "--" rather than 0.
+	var buf strings.Builder
+	acc.WriteASCII(&buf)
+	if !strings.Contains(buf.String(), "--") {
+		t.Error("ASCII render of a partial grid lacks missing markers")
+	}
+}
+
 func TestShadeRamp(t *testing.T) {
 	if shade(math.NaN()) != '?' {
 		t.Error("NaN shade")

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/tensor"
 )
 
@@ -79,11 +80,14 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	shape := current.Data.Shape()
 	be := tp.Backend()
 
-	// One slab for the three tape-lived arrays (see LIFStep).
-	slab := make([]float64, 3*n)
+	// One slab for the three tape-lived arrays, drawn from the backend
+	// arena and recycled by Tape.Release (see LIFStep); the loop below
+	// fully overwrites all three sections.
+	slab := be.Get(3 * n)
+	tp.OwnBuffer(slab)
 	spk := slab[0*n : 1*n : 1*n]
 	vout := slab[1*n : 2*n : 2*n]
-	surr := slab[2*n:]
+	surr := slab[2*n : 3*n : 3*n]
 	newExcess := tensor.New(shape...)
 	cv, mv, ex, ne := current.Data.Data(), st.V.Data.Data(), st.ThExcess.Data(), newExcess.Data()
 	// Devirtualise the default surrogate (see LIFStep); the inline
@@ -99,7 +103,9 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	var spkBits []uint64
 	var spkCounts []int
 	if packOn {
-		spkBits = make([]uint64, rows*words)
+		// Tape-lived like the slab; every word is stored exactly once.
+		spkBits = compute.GetUint64(rows * words)
+		tp.OwnWords(spkBits)
 		spkCounts = make([]int, rows)
 	}
 	be.ParallelFor(rows, 2048/rowLen, func(lo, hi int) {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/tensor"
 )
 
@@ -106,11 +107,17 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 	// per-step workspace.
 	const lifGrain = 2048
 	// One slab for the three tape-lived arrays: a third of the
-	// allocations (and their zeroing passes) per step.
-	slab := make([]float64, 3*n)
+	// allocations per step. The slab comes from the backend arena and is
+	// registered with the tape, so Tape.Release recycles it once the
+	// step's values are dead — a T-step unrolled network cycles through a
+	// working set of slabs instead of holding every timestep's
+	// activations. The loop below fully overwrites all three sections, so
+	// the dirty pooled memory never leaks into results.
+	slab := be.Get(3 * n)
+	tp.OwnBuffer(slab)
 	spk := slab[0*n : 1*n : 1*n]  // binary spikes
 	vout := slab[1*n : 2*n : 2*n] // post-reset membrane
-	surr := slab[2*n:]            // surrogate dH/dpre
+	surr := slab[2*n : 3*n : 3*n] // surrogate dH/dpre
 	cv := current.Data.Data()
 	mv := membrane.Data.Data()
 	// Devirtualise the default surrogate: an interface call per neuron
@@ -131,7 +138,11 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 	var spkBits []uint64
 	var spkCounts []int
 	if packOn {
-		spkBits = make([]uint64, rows*words)
+		// The packed plane is tape-lived like the slab; every word is
+		// stored exactly once below, so the dirty pooled words are fully
+		// overwritten.
+		spkBits = compute.GetUint64(rows * words)
+		tp.OwnWords(spkBits)
 		spkCounts = make([]int, rows)
 	}
 	rowGrain := lifGrain / rowLen

@@ -564,6 +564,44 @@ func TestSpikeKernelsBitIdenticalEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTapeReleaseBitIdenticalAcrossReuse pins the Tape.Release lifetime
+// hook at the LIF level: the spike/membrane slabs (and packed planes) a
+// forward pass records come from the backend arena, so a second pass
+// after Release recycles the first pass's buffers — and must still
+// produce bit-identical logits and gradients.
+func TestTapeReleaseBitIdenticalAcrossReuse(t *testing.T) {
+	r := tensor.NewRand(77, 0)
+	xT := tensor.RandN(r, 0.8, 0.3, 3, 1, 4, 4)
+	labels := []int{0, 1, 2}
+	run := func() (*tensor.Tensor, []*tensor.Tensor) {
+		net := buildTinySNN(78, 0.8, 5, ReadoutSpikeCount)
+		for _, p := range net.Params() {
+			p.ZeroGrad()
+		}
+		tp := autodiff.NewTape()
+		logits := net.Logits(tp, tp.Const(xT))
+		loss := tp.SoftmaxCrossEntropy(logits, labels)
+		tp.Backward(loss)
+		out := logits.Data.Clone() // Data dies with Release; keep a copy
+		var grads []*tensor.Tensor
+		for _, p := range net.Params() {
+			grads = append(grads, p.Grad.Clone())
+		}
+		tp.Release()
+		return out, grads
+	}
+	l1, g1 := run()
+	l2, g2 := run()
+	if !l1.AllClose(l2, 0) {
+		t.Error("logits differ across pooled-slab reuse")
+	}
+	for i := range g1 {
+		if !g1[i].AllClose(g2[i], 0) {
+			t.Errorf("gradient %d differs across pooled-slab reuse", i)
+		}
+	}
+}
+
 // A tiny SNN must be able to learn a separable toy problem through BPTT —
 // the end-to-end sanity check for the whole surrogate-gradient machinery.
 func TestSNNLearnsToyProblem(t *testing.T) {

@@ -102,6 +102,11 @@ func Fit(model nn.Classifier, ds *dataset.Dataset, cfg Config) (*Result, error) 
 				}
 				seen++
 			}
+			// The batch is fully consumed (loss read, gradients applied,
+			// predictions scored): return the forward intermediates — the
+			// T-step spike/membrane planes of an unrolled SNN — to the
+			// backend arena instead of holding them until the next GC.
+			tp.Release()
 		}
 		avg := epochLoss / float64(batches)
 		acc := float64(correct) / float64(seen)
@@ -147,6 +152,7 @@ func EvaluateOn(be compute.Backend, model nn.Classifier, ds *dataset.Dataset, ba
 				correct++
 			}
 		}
+		tp.Release()
 	}
 	return float64(correct) / float64(ds.Len())
 }
