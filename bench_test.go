@@ -630,8 +630,14 @@ func spikeBenchInput() *tensor.Tensor {
 }
 
 func benchSpikeSNNBPTTStep(b *testing.B, spikeKernels bool) {
-	autodiff.SetSpikeKernels(spikeKernels)
-	defer autodiff.SetSpikeKernels(true)
+	pol := compute.DefaultDispatchPolicy()
+	if spikeKernels {
+		pol.Mode = compute.DispatchSparse
+	} else {
+		pol.Mode = compute.DispatchDense
+	}
+	compute.SetDispatchPolicy(pol)
+	defer compute.SetDispatchPolicy(compute.DefaultDispatchPolicy())
 	net := newSpikeBenchNet()
 	x := spikeBenchInput()
 	labels := make([]int, x.Dim(0))
@@ -700,10 +706,10 @@ type benchDoc struct {
 // TestWriteComputeBenchJSON appends this PR's kernel-timing record to
 // BENCH_compute.json: serial-vs-parallel for each kernel, the
 // per-image-vs-batched conv pipeline and naive-vs-blocked matmul pairs,
-// and the dense-vs-sparse spike-kernel pairs (density sweep plus the
-// end-to-end sparse BPTT step). A record with the same label
-// (SNNSEC_BENCH_LABEL, default "PR 3") is replaced; other PRs' records
-// are preserved. It only runs when SNNSEC_WRITE_BENCH is set:
+// the dense-vs-sparse spike-kernel pairs (density sweep plus the
+// end-to-end sparse BPTT step), and the default-vs-fast numerics tier
+// pair. A record with the same label (SNNSEC_BENCH_LABEL, default
+// "PR 6") is replaced; other PRs' records are preserved. It only runs when SNNSEC_WRITE_BENCH is set:
 //
 //	SNNSEC_WRITE_BENCH=1 go test -run TestWriteComputeBenchJSON
 func TestWriteComputeBenchJSON(t *testing.T) {
@@ -719,6 +725,13 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 	}
 	spikeBPTT := func(spikeKernels bool) func(*testing.B) {
 		return func(b *testing.B) { benchSpikeSNNBPTTStep(b, spikeKernels) }
+	}
+	atTier := func(prec compute.Precision) func(*testing.B) {
+		return func(b *testing.B) {
+			compute.SetPrecision(prec)
+			defer compute.SetPrecision(compute.Float64)
+			benchMatMul256(b, ser)
+		}
 	}
 	pairs := []struct {
 		name, baseline, candidate string
@@ -738,10 +751,14 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 		{"SpikeMatMul256d10", "dense", "sparse", atDensity(0.1, false), atDensity(0.1, true)},
 		{"SpikeMatMul256d50", "dense", "sparse", atDensity(0.5, false), atDensity(0.5, true)},
 		{"SNNBPTTStepSparse", "dense-kernels", "spike-kernels", spikeBPTT(false), spikeBPTT(true)},
+		// Fast-numerics tier (PR 6): the default float64 blocked kernel vs
+		// the opt-in float32 FMA/AVX2 staging path on the same product
+		// (single core). The CI perf gate requires ≥1.3× here.
+		{"MatMul256", "float64-default", "float32-fast", atTier(compute.Float64), atTier(compute.Float32)},
 	}
 	label := os.Getenv("SNNSEC_BENCH_LABEL")
 	if label == "" {
-		label = "PR 3"
+		label = "PR 6"
 	}
 	rec := benchRecord{Label: label, NumCPU: runtime.NumCPU(), SpikeBPTTDensity: spikeBPTTDensity()}
 	for _, p := range pairs {

@@ -489,14 +489,16 @@ func TestSpikeMatMulDispatch(t *testing.T) {
 		t.Error("spike MatMul gradients differ from dense")
 	}
 
-	SetSpikeKernels(false)
-	defer SetSpikeKernels(true)
-	if SpikeKernelsEnabled() {
-		t.Fatal("SetSpikeKernels(false) not observed")
+	pol := compute.DefaultDispatchPolicy()
+	pol.Mode = compute.DispatchDense
+	compute.SetDispatchPolicy(pol)
+	defer compute.SetDispatchPolicy(compute.DefaultDispatchPolicy())
+	if compute.UseSparse(compute.KernelMatMul, 0) {
+		t.Fatal("DispatchDense not observed")
 	}
 	offOut, offDA, offDW := run(true)
 	if !denseOut.AllClose(offOut, 0) || !denseDA.AllClose(offDA, 0) || !denseDW.AllClose(offDW, 0) {
-		t.Error("disabled spike dispatch changed results")
+		t.Error("dense-forced dispatch changed results")
 	}
 }
 

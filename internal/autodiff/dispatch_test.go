@@ -1,0 +1,152 @@
+package autodiff
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/tensor"
+)
+
+// The density-adaptive dispatcher is a pure speed choice: whatever side
+// it picks, the result must be bit-identical to BOTH hand-forced paths.
+// These tests pin that at 0/10/50/100% spike density across the three
+// dispatched op families (MatMul, Conv2D, the pooling pair).
+
+func binaryAt(rng *rand.Rand, density float64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data() {
+		if rng.Float64() < density {
+			x.Data()[i] = 1
+		}
+	}
+	return x
+}
+
+func forcePolicy(t *testing.T, mode compute.DispatchMode) {
+	t.Helper()
+	pol := compute.DefaultDispatchPolicy()
+	pol.Mode = mode
+	compute.SetDispatchPolicy(pol)
+}
+
+type gradResult struct {
+	out   *tensor.Tensor
+	grads []*tensor.Tensor
+}
+
+func assertSameResult(t *testing.T, name string, want, got gradResult) {
+	t.Helper()
+	if !want.out.AllClose(got.out, 0) {
+		t.Errorf("%s: forward differs", name)
+	}
+	for i := range want.grads {
+		if !want.grads[i].AllClose(got.grads[i], 0) {
+			t.Errorf("%s: gradient %d differs", name, i)
+		}
+	}
+}
+
+// runModes evaluates f under adaptive, forced-sparse and forced-dense
+// dispatch and checks the three results are bit-identical. The packed
+// plane is attached in every mode (DispatchDense must ignore it at the
+// consumer, not rely on the producer gate).
+func runModes(t *testing.T, name string, f func() gradResult) {
+	t.Helper()
+	t.Cleanup(func() { compute.SetDispatchPolicy(compute.DefaultDispatchPolicy()) })
+	forcePolicy(t, compute.DispatchAdaptive)
+	adaptive := f()
+	forcePolicy(t, compute.DispatchSparse)
+	assertSameResult(t, name+" adaptive-vs-sparse", f(), adaptive)
+	forcePolicy(t, compute.DispatchDense)
+	assertSameResult(t, name+" adaptive-vs-dense", f(), adaptive)
+}
+
+var dispatchDensities = []float64{0, 0.1, 0.5, 1}
+
+func TestDispatchedMatMulBitIdentical(t *testing.T) {
+	r := tensor.NewRand(51, 53)
+	w := tensor.RandN(r, 0, 1, 40, 7)
+	seed := tensor.RandN(r, 0, 1, 9, 7)
+	for di, density := range dispatchDensities {
+		rng := rand.New(rand.NewPCG(uint64(60+di), 1))
+		spikes := binaryAt(rng, density, 9, 40)
+		runModes(t, fmt.Sprintf("MatMul d=%g", density), func() gradResult {
+			tp := NewTape()
+			a := tp.Var(spikes.Clone())
+			a.AttachSpikes(tensor.PackSpikes(a.Data))
+			wv := tp.Var(w.Clone())
+			out := tp.MatMul(a, wv)
+			tp.BackwardWithSeed(out, seed)
+			return gradResult{out: out.Data, grads: []*tensor.Tensor{a.Grad, wv.Grad}}
+		})
+	}
+}
+
+func TestDispatchedConv2DBitIdentical(t *testing.T) {
+	r := tensor.NewRand(55, 57)
+	w := tensor.RandN(r, 0, 0.5, 4, 2, 3, 3)
+	bias := tensor.RandN(r, 0, 0.5, 4)
+	p := tensor.ConvParams{Stride: 1, Padding: 1}
+	for di, density := range dispatchDensities {
+		rng := rand.New(rand.NewPCG(uint64(70+di), 1))
+		spikes := binaryAt(rng, density, 2, 2, 6, 6)
+		runModes(t, fmt.Sprintf("Conv2D d=%g", density), func() gradResult {
+			tp := NewTape()
+			x := tp.Var(spikes.Clone())
+			x.AttachSpikes(tensor.PackSpikes(x.Data))
+			wv, bv := tp.Var(w.Clone()), tp.Var(bias.Clone())
+			out := tp.Conv2D(x, wv, bv, p)
+			tp.Backward(tp.Sum(out))
+			return gradResult{out: out.Data, grads: []*tensor.Tensor{x.Grad, wv.Grad, bv.Grad}}
+		})
+	}
+}
+
+func TestDispatchedPoolingBitIdentical(t *testing.T) {
+	for di, density := range dispatchDensities {
+		rng := rand.New(rand.NewPCG(uint64(80+di), 1))
+		spikes := binaryAt(rng, density, 2, 3, 8, 8)
+		for _, pool := range []struct {
+			name string
+			op   func(tp *Tape, x *Value) *Value
+		}{
+			{"AvgPool2D", func(tp *Tape, x *Value) *Value { return tp.AvgPool2D(x, 2) }},
+			{"MaxPool2D", func(tp *Tape, x *Value) *Value { return tp.MaxPool2D(x, 2) }},
+		} {
+			runModes(t, fmt.Sprintf("%s d=%g", pool.name, density), func() gradResult {
+				tp := NewTape()
+				x := tp.Var(spikes.Clone())
+				x.AttachSpikes(tensor.PackSpikes(x.Data))
+				out := pool.op(tp, x)
+				tp.Backward(tp.Sum(out))
+				return gradResult{out: out.Data, grads: []*tensor.Tensor{x.Grad}}
+			})
+		}
+	}
+}
+
+// TestMaxPoolSpikeOutputStaysPacked pins the satellite behaviour that
+// motivated the popcount pooling kernels: a packed plane flowing into a
+// spike-dispatched max pool comes out still packed, so a pooled
+// topology no longer forces the dense fallback on everything behind the
+// pool.
+func TestMaxPoolSpikeOutputStaysPacked(t *testing.T) {
+	rng := rand.New(rand.NewPCG(90, 1))
+	spikes := binaryAt(rng, 0.3, 2, 3, 8, 8)
+	tp := NewTape()
+	x := tp.Const(spikes)
+	x.AttachSpikes(tensor.PackSpikes(spikes))
+	out := tp.MaxPool2D(x, 2)
+	if out.Spikes() == nil {
+		t.Fatal("max pool dropped the packed spike plane")
+	}
+	if !out.Spikes().Dense().AllClose(out.Data, 0) {
+		t.Fatal("repacked max pool plane does not match the dense output")
+	}
+	// Average pooling emits fractions, which cannot stay packed.
+	if tp.AvgPool2D(x, 2).Spikes() != nil {
+		t.Fatal("avg pool output claims to be binary")
+	}
+}

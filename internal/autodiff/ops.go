@@ -3,27 +3,25 @@ package autodiff
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
+	"snnsec/internal/compute"
 	"snnsec/internal/tensor"
 )
 
-// spikeKernelsOff disables the spike-plane kernel dispatch when set (the
-// default is on). The zero value means enabled so the fast path needs no
-// init; the inverted sense keeps the hot-path load branch-predictable.
-var spikeKernelsOff atomic.Bool
-
-// SetSpikeKernels toggles the bit-packed spike kernel dispatch
-// process-wide. MatMul and Conv2D consult it when they record an
-// operation whose input carries a packed spike plane; recorded
-// pullbacks keep the dispatch they were recorded with. The spike
-// kernels are bit-identical to the dense ones, so this switch exists
-// for benchmarking the engine against its dense baseline in one
-// process, not for correctness.
-func SetSpikeKernels(enabled bool) { spikeKernelsOff.Store(!enabled) }
-
-// SpikeKernelsEnabled reports whether spike kernel dispatch is active.
-func SpikeKernelsEnabled() bool { return !spikeKernelsOff.Load() }
+// spikeFor makes the per-call sparse-vs-dense choice for an operation
+// whose input may carry a packed spike plane: it returns the plane when
+// the compute dispatch policy selects the spike kernel for the plane's
+// density (read from the popcount index — O(rows), already cached), and
+// nil when the dense kernel should run. Recorded pullbacks keep the
+// dispatch their forward op chose, so one op's forward and backward
+// always agree. The spike kernels are bit-identical to the dense ones,
+// so the choice is pure speed — it never changes a result.
+func spikeFor(sp *tensor.SpikeTensor, f compute.KernelFamily) *tensor.SpikeTensor {
+	if sp == nil || !compute.UseSparse(f, sp.Density()) {
+		return nil
+	}
+	return sp
+}
 
 // Add returns a + b elementwise.
 func (tp *Tape) Add(a, b *Value) *Value {
@@ -69,15 +67,13 @@ func (tp *Tape) AddScalar(a *Value, s float64) *Value {
 }
 
 // MatMul returns the matrix product a·b of 2-D values. When a carries a
-// packed spike plane (a binary LIF/encoder output), both the product
+// packed spike plane (a binary LIF/encoder output) and the plane's
+// density is below the dispatch policy's crossover, both the product
 // and the weight-gradient pullback run the multiply-free
 // select-accumulate kernels — bit-identical to the dense kernels, so
 // the choice never changes a result.
 func (tp *Tape) MatMul(a, b *Value) *Value {
-	sp := a.spikes
-	if spikeKernelsOff.Load() {
-		sp = nil
-	}
+	sp := spikeFor(a.spikes, compute.KernelMatMul)
 	var out *tensor.Tensor
 	if sp != nil {
 		out = tensor.SpikeMatMulOn(tp.Backend(), sp, b.Data)
@@ -171,19 +167,17 @@ func (tp *Tape) Tanh(a *Value) *Value {
 // [F,C,KH,KW] and optional bias [F] (pass nil for no bias). Forward and
 // pullback both run the batched im2col pipeline: one matmul over the
 // whole batch per product, on the tape's backend. When x carries a
-// packed spike plane, the forward pass and the weight-gradient pullback
-// run the spike-aware pipeline (packed im2col + select-accumulate)
-// instead, never materialising a dense column matrix; results are
-// bit-identical either way.
+// packed spike plane whose density is below the dispatch policy's
+// crossover, the forward pass and the weight-gradient pullback run the
+// spike-aware pipeline (packed im2col + select-accumulate) instead,
+// never materialising a dense column matrix; results are bit-identical
+// either way.
 func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
 	var bt *tensor.Tensor
 	if bias != nil {
 		bt = bias.Data
 	}
-	sp := x.spikes
-	if spikeKernelsOff.Load() {
-		sp = nil
-	}
+	sp := spikeFor(x.spikes, compute.KernelConv)
 	var out *tensor.Tensor
 	var col *tensor.SpikeTensor
 	if sp != nil {
@@ -214,18 +208,40 @@ func (tp *Tape) Conv2D(x, weight, bias *Value, p tensor.ConvParams) *Value {
 	}, parents...)
 }
 
-// AvgPool2D returns k×k average pooling of x [N,C,H,W].
+// AvgPool2D returns k×k average pooling of x [N,C,H,W]. A packed spike
+// input pools by window popcount — bit-identical to the dense window
+// sum, since a window of 0/1 values sums to an exact small integer.
+// The pooled averages are no longer binary, so the output carries no
+// packed plane either way.
 func (tp *Tape) AvgPool2D(x *Value, k int) *Value {
 	h, w := x.Data.Dim(2), x.Data.Dim(3)
-	out := tensor.AvgPool2DOn(tp.Backend(), x.Data, k)
+	var out *tensor.Tensor
+	if sp := spikeFor(x.spikes, compute.KernelPool); sp != nil && k <= 64 {
+		out = tensor.SpikeAvgPool2DOn(tp.Backend(), sp, k)
+	} else {
+		out = tensor.AvgPool2DOn(tp.Backend(), x.Data, k)
+	}
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		x.AccumGrad(tensor.AvgPool2DBackwardOn(tp.Backend(), g, k, h, w))
 	}, x)
 }
 
-// MaxPool2D returns k×k max pooling of x [N,C,H,W].
+// MaxPool2D returns k×k max pooling of x [N,C,H,W]. A packed spike
+// input pools on the bit plane (any-bit-set per window, first-set-bit
+// argmax — bit-identical values and argmaxes to the dense kernel), and
+// since the max of a binary window is binary, the pooled output carries
+// the packed plane onward: a synapse behind a max pool stays on the
+// spike kernels instead of falling back dense.
 func (tp *Tape) MaxPool2D(x *Value, k int) *Value {
 	h, w := x.Data.Dim(2), x.Data.Dim(3)
+	if sp := spikeFor(x.spikes, compute.KernelPool); sp != nil && k <= 64 {
+		out, arg, spOut := tensor.SpikeMaxPool2DOn(tp.Backend(), sp, k)
+		v := tp.NewOp(out, func(g *tensor.Tensor) {
+			x.AccumGrad(tensor.MaxPool2DBackwardOn(tp.Backend(), g, arg, k, h, w))
+		}, x)
+		v.AttachSpikes(spOut)
+		return v
+	}
 	out, arg := tensor.MaxPool2DOn(tp.Backend(), x.Data, k)
 	return tp.NewOp(out, func(g *tensor.Tensor) {
 		x.AccumGrad(tensor.MaxPool2DBackwardOn(tp.Backend(), g, arg, k, h, w))

@@ -1,0 +1,170 @@
+package compute
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Density-adaptive kernel dispatch.
+//
+// Every packed spike plane carries a popcount index, so the sparse-vs-
+// dense kernel choice can be made per call from the plane's actual
+// density instead of a process-wide toggle: the select-accumulate spike
+// kernels do O(nnz) work and win when planes are mostly zeros, while the
+// dense blocked/AVX kernels win once a plane is dense enough that
+// skipping stops paying for its bookkeeping. On the reference container
+// the crossover sits surprisingly high — ≈90% density on the 256³
+// matmul (measured by TestDensityCrossoverGate in internal/tensor and
+// tabulated in EXPERIMENTS.md), because the dense kernel's own zero-skip
+// gate keeps it on a branchy path whenever the operand has any zeros at
+// all; only a fully dense plane reaches the pure AVX speed. The
+// thresholds here are calibrated from that benchmark and overridable for
+// other machines.
+//
+// Because the spike kernels are bit-identical to the dense kernels on
+// binary inputs (and fall back to dense themselves when 0·NaN/0·Inf
+// propagation could be observed), the dispatch decision NEVER changes a
+// default-tier result — it is purely a speed choice, which is what lets
+// it be density-adaptive rather than part of the determinism contract.
+// The policy lives in internal/compute so both internal/tensor and
+// internal/autodiff can consult it without an import cycle; density
+// travels as a plain float64 for the same reason.
+
+// KernelFamily identifies which kernel pair a dispatch decision selects
+// between; families can calibrate different crossover thresholds.
+type KernelFamily int
+
+const (
+	// KernelMatMul covers SpikeMatMul/SpikeMatMulATB vs the blocked
+	// dense matmuls.
+	KernelMatMul KernelFamily = iota
+	// KernelConv covers the packed im2col + SpikeConv2D pipeline vs the
+	// dense batched conv pipeline.
+	KernelConv
+	// KernelPool covers the popcount-window pooling kernels vs the
+	// dense pooling loops.
+	KernelPool
+)
+
+// DispatchMode selects how the sparse-vs-dense choice is made.
+type DispatchMode int
+
+const (
+	// DispatchAdaptive picks per call from the plane's density and the
+	// policy thresholds. This is the default.
+	DispatchAdaptive DispatchMode = iota
+	// DispatchSparse forces the spike kernels whenever a packed plane is
+	// available, regardless of density (the pre-dispatch PR-3 behaviour;
+	// used by tests and benchmarks to pin one side).
+	DispatchSparse
+	// DispatchDense forces the dense kernels and stops producers from
+	// packing spike planes at all (the old SetSpikeKernels(false)).
+	DispatchDense
+)
+
+// DispatchPolicy is the per-call sparse-vs-dense decision rule.
+// Thresholds are spike densities in [0,1]: a packed plane takes the
+// sparse kernel iff its density is at or below the family's threshold.
+type DispatchPolicy struct {
+	Mode DispatchMode
+	// MatMulThreshold is the density at or below which SpikeMatMul /
+	// SpikeMatMulATB beat the dense blocked kernels.
+	MatMulThreshold float64
+	// ConvThreshold is the density at or below which the packed im2col
+	// conv pipeline beats the dense batched one.
+	ConvThreshold float64
+	// PoolThreshold is the density at or below which popcount-window
+	// pooling beats the dense window loops. Popcounting a window is
+	// cheaper than reading k² floats at every density, so the default
+	// is 1 (always sparse when a plane is available).
+	PoolThreshold float64
+}
+
+// DefaultDispatchPolicy returns the adaptive policy with thresholds
+// calibrated on the reference container (see the density-crossover table
+// in EXPERIMENTS.md): the spike matmul still wins at 90% density
+// (1.27×) and loses only on fully dense planes, so the matmul threshold
+// sits at 85% — below the measured crossover with margin for shapes the
+// benchmark does not cover. The conv threshold is more conservative
+// because the packed im2col pipeline adds per-call overhead the matmul
+// sweep does not measure.
+func DefaultDispatchPolicy() DispatchPolicy {
+	return DispatchPolicy{
+		Mode:            DispatchAdaptive,
+		MatMulThreshold: 0.85,
+		ConvThreshold:   0.75,
+		PoolThreshold:   1,
+	}
+}
+
+// Validate rejects malformed policies before they are installed.
+func (p DispatchPolicy) Validate() error {
+	switch p.Mode {
+	case DispatchAdaptive, DispatchSparse, DispatchDense:
+	default:
+		return fmt.Errorf("compute: unknown dispatch mode %d", p.Mode)
+	}
+	for _, t := range []struct {
+		name string
+		v    float64
+	}{{"matmul", p.MatMulThreshold}, {"conv", p.ConvThreshold}, {"pool", p.PoolThreshold}} {
+		if t.v < 0 || t.v > 1 || t.v != t.v {
+			return fmt.Errorf("compute: %s dispatch threshold %v out of [0,1]", t.name, t.v)
+		}
+	}
+	return nil
+}
+
+// dispatchPolicy holds the active policy; nil means the default, so the
+// fast path needs no init.
+var dispatchPolicy atomic.Pointer[DispatchPolicy]
+
+// SetDispatchPolicy installs the process-wide dispatch policy. It
+// panics on an invalid policy (Validate) — a policy is configuration,
+// set once near startup, and silently clamping it would hide the
+// mistake.
+func SetDispatchPolicy(p DispatchPolicy) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	dispatchPolicy.Store(&p)
+}
+
+// ActiveDispatchPolicy returns the process-wide dispatch policy.
+func ActiveDispatchPolicy() DispatchPolicy {
+	if p := dispatchPolicy.Load(); p != nil {
+		return *p
+	}
+	return DefaultDispatchPolicy()
+}
+
+// UseSparse reports whether a kernel call of the given family should
+// take the sparse (spike) kernel for a packed plane of the given
+// density. Callers only consult it when a packed plane exists; without
+// one there is no choice to make.
+func UseSparse(f KernelFamily, density float64) bool {
+	p := ActiveDispatchPolicy()
+	switch p.Mode {
+	case DispatchSparse:
+		return true
+	case DispatchDense:
+		return false
+	}
+	switch f {
+	case KernelConv:
+		return density <= p.ConvThreshold
+	case KernelPool:
+		return density <= p.PoolThreshold
+	default:
+		return density <= p.MatMulThreshold
+	}
+}
+
+// PackSpikePlanes reports whether spike producers (the LIF/ALIF
+// threshold steps, the binary encoders) should pack their outputs.
+// Packing stays on under DispatchAdaptive even above the crossover —
+// the popcount index is exactly what the per-call decision reads, and
+// packing costs one pass over bits the producer already touches — and
+// turns off only under DispatchDense, which exists to benchmark the
+// dense baseline without any packing overhead.
+func PackSpikePlanes() bool { return ActiveDispatchPolicy().Mode != DispatchDense }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
+	"snnsec/internal/dataset"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+)
+
+// TestFastTierTinyPresetEquivalence is the end-to-end tolerance gate of
+// the fast tier: on the tiny preset, (a) a forward pass under the fast
+// tier must land within a small relative error of the default tier on
+// the same trained weights and the same encoder spike train, (b) the
+// fast tier must be exactly run-to-run deterministic — repeated forward
+// passes and repeated full trainings are bit-identical — and (c)
+// retraining under the fast tier must reach a final accuracy close to
+// the default tier's.
+//
+// The relative-error bound on logits is looser than raw float32
+// accumulation noise because the network thresholds membrane potentials:
+// a potential within ulps of Vth can legitimately spike under one tier
+// and not the other, which perturbs downstream logits by whole spike
+// contributions, not ulps. The tiny preset keeps that rare; the bound
+// absorbs it.
+func TestFastTierTinyPresetEquivalence(t *testing.T) {
+	s := TinyScale()
+	trainDS, testDS, err := LoadData(s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit shuffles the training set in place, so every training run gets
+	// its own copy to keep runs independent and comparable.
+	trainCopy := func() *dataset.Dataset { return trainDS.Subset(0, trainDS.Len()) }
+
+	net, acc, err := s.TrainSNN(s.DefaultVth, s.DefaultT, trainCopy(), testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := testDS.Batches(16)[0]
+	logits := func() *tensor.Tensor {
+		// Reseed the Poisson front-end so both tiers see the identical
+		// spike train (the encoder itself always samples in float64).
+		net.Encoder.(*snn.PoissonEncoder).Reseed(123, 456)
+		tp := autodiff.NewTape()
+		return net.Logits(tp, tp.Const(batch.X)).Data
+	}
+	exact := logits()
+
+	// The SNN's forward path is largely spike-dispatched (exact kernels),
+	// so also pin the fully dense path: a randomly initialised CNN's
+	// logits go through the fast float32 matmuls end to end.
+	cnn, err := NewLeNet5CNN(s.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnnLogits := func() *tensor.Tensor {
+		tp := autodiff.NewTape()
+		return cnn.Logits(tp, tp.Const(batch.X)).Data
+	}
+	exactCNN := cnnLogits()
+
+	maxRelTo := func(exact, fast *tensor.Tensor) float64 {
+		maxRel := 0.0
+		for i, w := range exact.Data() {
+			if rel := math.Abs(fast.Data()[i]-w) / (math.Abs(w) + 1); rel > maxRel {
+				maxRel = rel
+			}
+		}
+		return maxRel
+	}
+
+	compute.SetPrecision(compute.Float32)
+	t.Cleanup(func() { compute.SetPrecision(compute.Float64) })
+	fast := logits()
+	if !fast.AllClose(logits(), 0) {
+		t.Error("fast-tier forward pass not run-to-run deterministic")
+	}
+	snnRel := maxRelTo(exact, fast)
+	t.Logf("max relative logit error fast vs default: SNN %.2e", snnRel)
+	if snnRel > 0.05 {
+		t.Errorf("fast-tier SNN logits diverge from the default tier: max relative error %.2e", snnRel)
+	}
+	fastCNN := cnnLogits()
+	if !fastCNN.AllClose(cnnLogits(), 0) {
+		t.Error("fast-tier CNN forward pass not run-to-run deterministic")
+	}
+	cnnRel := maxRelTo(exactCNN, fastCNN)
+	t.Logf("max relative logit error fast vs default: CNN %.2e", cnnRel)
+	if cnnRel == 0 {
+		t.Error("fast-tier CNN logits bit-identical to float64 — the fast kernels did not run")
+	}
+	if cnnRel > 1e-3 {
+		t.Errorf("fast-tier CNN logits diverge from the default tier: max relative error %.2e", cnnRel)
+	}
+
+	netF, accF, err := s.TrainSNN(s.DefaultVth, s.DefaultT, trainCopy(), testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, accF2, err := s.TrainSNN(s.DefaultVth, s.DefaultT, trainCopy(), testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accF != accF2 {
+		t.Errorf("fast-tier training not run-to-run deterministic: %v vs %v", accF, accF2)
+	}
+	t.Logf("tiny-preset accuracy: default %.4f, fast %.4f", acc, accF)
+	if math.Abs(accF-acc) > 0.25 {
+		t.Errorf("fast-tier final accuracy %.4f too far from default tier %.4f", accF, acc)
+	}
+	// The retrained fast-tier network must itself produce finite logits.
+	netF.Encoder.(*snn.PoissonEncoder).Reseed(123, 456)
+	tp := autodiff.NewTape()
+	out := netF.Logits(tp, tp.Const(batch.X)).Data
+	for i, v := range out.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("fast-tier network logit %d is %v", i, v)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"snnsec/internal/compute"
 	"snnsec/internal/explore"
 )
 
@@ -32,6 +33,10 @@ type manifest struct {
 	Vths        []float64 `json:"vths"`
 	Ts          []int     `json:"ts"`
 	Epsilons    []float64 `json:"epsilons"`
+	// Precision pins the numerics tier the checkpoint was computed at
+	// (compute.Precision.Tag; empty = default tier), so a resume at a
+	// different tier is rejected instead of producing a mixed result.
+	Precision string `json:"precision,omitempty"`
 }
 
 // checkpoint is the coordinator's handle on the directory.
@@ -57,6 +62,7 @@ func initCheckpoint(dir string, spec Spec, cfg *explore.Config, resume bool) (*c
 		Vths:        cfg.Vths,
 		Ts:          cfg.Ts,
 		Epsilons:    cfg.Epsilons,
+		Precision:   compute.ActivePrecision().Tag(),
 	}
 	path := filepath.Join(dir, manifestName)
 	if raw, err := os.ReadFile(path); err == nil {
@@ -71,6 +77,10 @@ func initCheckpoint(dir string, spec Spec, cfg *explore.Config, resume bool) (*c
 			}
 			return nil, fmt.Errorf("grid: checkpoint %s belongs to a different job (builder %q, fingerprint %q…)",
 				dir, have.Builder, short)
+		}
+		if have.Precision != want.Precision {
+			return nil, fmt.Errorf("grid: checkpoint %s was computed at precision %q, this run is %q — mixed-tier results cannot be merged",
+				dir, orDefault(have.Precision), orDefault(want.Precision))
 		}
 		if !resume {
 			return nil, fmt.Errorf("grid: checkpoint %s already exists; pass resume to continue it", dir)

@@ -243,6 +243,7 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 		Spec:          co.spec.Config,
 		KernelWorkers: co.kernelWorkers,
 		WantModel:     co.wantModel,
+		Precision:     compute.ActivePrecision().Tag(),
 	}); err != nil {
 		return fmt.Errorf("grid: shard %d hello: %w", shard, err)
 	}
@@ -292,6 +293,17 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 func (co *coordinator) record(shard int, m message) error {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	// The merged result must be single-tier: mixing bit-exact and fast
+	// points would silently void the bit-identical-merge contract, so a
+	// point computed at any other tier than this run's is fatal.
+	if want := compute.ActivePrecision().Tag(); m.Point.Precision != want {
+		err := fmt.Errorf("grid: shard %d computed point %d at precision %q, run is %q — mixed-tier merges are rejected",
+			shard, m.Index, orDefault(m.Point.Precision), orDefault(want))
+		if co.fatal == nil {
+			co.fatal = err
+		}
+		return err
+	}
 	co.res.Set(m.Index, m.Point.Point())
 	co.completed++
 	if co.ck != nil {
@@ -306,6 +318,14 @@ func (co *coordinator) record(shard int, m message) error {
 	logf(co.log, "grid: point %d (Vth=%g, T=%d) done on shard %d [%d/%d]\n",
 		m.Index, m.Point.Vth, m.Point.T, shard, co.resumed+co.completed, co.total)
 	return nil
+}
+
+// orDefault spells the empty precision tag out for error messages.
+func orDefault(tag string) string {
+	if tag == "" {
+		return "float64"
+	}
+	return tag
 }
 
 func logf(w io.Writer, format string, args ...any) {

@@ -1,0 +1,90 @@
+package grid
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/explore"
+)
+
+// The distributed merge is only bit-identical when every point comes
+// from the same numerics tier, so the tier travels in the hello, is
+// stamped into every WirePoint, and mismatches are rejected at both
+// merge layers: the live record() path and checkpoint resume.
+
+func TestMixedTierPointRejected(t *testing.T) {
+	co := &coordinator{res: explore.NewPartialResult([]float64{1}, []int{2}, []float64{0.5}), total: 1}
+	wp := &explore.WirePoint{Vth: 1, T: 2, Precision: "float32"}
+	err := co.record(0, message{Index: 0, Point: wp})
+	if err == nil || !strings.Contains(err.Error(), "mixed-tier") {
+		t.Fatalf("fast-tier point accepted into a default-tier run: %v", err)
+	}
+	if co.fatalError() == nil {
+		t.Error("mixed-tier point did not latch a fatal error")
+	}
+	// A matching tier records cleanly.
+	co = &coordinator{res: explore.NewPartialResult([]float64{1}, []int{2}, []float64{0.5}), total: 1}
+	if err := co.record(0, message{Index: 0, Point: &explore.WirePoint{Vth: 1, T: 2}}); err != nil {
+		t.Fatalf("default-tier point rejected: %v", err)
+	}
+}
+
+func TestMixedTierResumeRejected(t *testing.T) {
+	spec := testSpec(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if _, err := Run(context.Background(), spec, Options{
+		Shards: 1, CheckpointDir: dir, MaxPoints: 1, Launch: inProcLauncher(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	compute.SetPrecision(compute.Float32)
+	t.Cleanup(func() { compute.SetPrecision(compute.Float64) })
+	_, err := Run(context.Background(), spec, Options{
+		Shards: 1, CheckpointDir: dir, Resume: true, Launch: inProcLauncher(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "mixed-tier") {
+		t.Fatalf("default-tier checkpoint resumed under the fast tier: %v", err)
+	}
+}
+
+// TestFastTierGridRoundTrip pins the happy path: under the fast tier
+// the hello carries the tier to the worker, the worker computes at it,
+// every merged point is stamped with it, and a same-tier resume works.
+func TestFastTierGridRoundTrip(t *testing.T) {
+	compute.SetPrecision(compute.Float32)
+	t.Cleanup(func() { compute.SetPrecision(compute.Float64) })
+	spec := testSpec(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	res, err := Run(context.Background(), spec, Options{
+		Shards: 1, CheckpointDir: dir, MaxPoints: 1, Launch: inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed := 0
+	for i := range res.Points {
+		if !res.Computed(i) {
+			continue
+		}
+		computed++
+		if res.Points[i].Precision != "float32" {
+			t.Errorf("point %d precision %q, want float32", i, res.Points[i].Precision)
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("computed %d points, want 1", computed)
+	}
+	// Same-tier resume continues from the checkpoint.
+	res, err = Run(context.Background(), spec, Options{
+		Shards: 1, CheckpointDir: dir, Resume: true, MaxPoints: 1, Launch: inProcLauncher(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Points) - len(res.MissingIndices()); got != 2 {
+		t.Fatalf("after resume %d points computed, want 2", got)
+	}
+}

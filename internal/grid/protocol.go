@@ -49,6 +49,12 @@ type message struct {
 	// WantModel asks the worker to attach a modelio snapshot of each
 	// successfully trained point (for checkpoint model files).
 	WantModel bool `json:"want_model,omitempty"`
+	// Precision is the numerics tier (compute.Precision.Tag) the worker
+	// must compute at — empty for the default bit-exact tier. Pinning
+	// the tier in the hello is what keeps a sharded sweep single-tier:
+	// every point either carries the coordinator's tier or is rejected
+	// at merge time.
+	Precision string `json:"precision,omitempty"`
 
 	// point / point_done fields. Index is the T-major grid index; no
 	// omitempty, 0 is a valid index.

@@ -99,7 +99,7 @@ func ALIFStep(tp *autodiff.Tape, cfg AdaptiveConfig, current *autodiff.Value, st
 	rows := shape[0]
 	rowLen := n / rows
 	words := (rowLen + 63) / 64
-	packOn := autodiff.SpikeKernelsEnabled()
+	packOn := compute.PackSpikePlanes()
 	var spkBits []uint64
 	var spkCounts []int
 	if packOn {

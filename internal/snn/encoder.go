@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/tensor"
 )
 
@@ -116,7 +117,7 @@ func (e *PoissonEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *au
 	// Rate-coded trains are binary: packing them here lets the first
 	// synapse run the spike kernels, so the whole forward pass stays in
 	// packed form from the pixels to the readout.
-	if autodiff.SpikeKernelsEnabled() {
+	if compute.PackSpikePlanes() {
 		v.AttachSpikes(tensor.PackSpikesOn(tp.Backend(), out))
 	}
 	return v
@@ -174,7 +175,7 @@ func (e LatencyEncoder) Encode(tp *autodiff.Tape, x *autodiff.Value, t int) *aut
 	}, x)
 	// A latency-coded step is binary (at most one spike per pixel), so
 	// it packs the same way as the rate code.
-	if autodiff.SpikeKernelsEnabled() {
+	if compute.PackSpikePlanes() {
 		v.AttachSpikes(tensor.PackSpikesOn(tp.Backend(), out))
 	}
 	return v

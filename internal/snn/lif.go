@@ -134,7 +134,7 @@ func LIFStep(tp *autodiff.Tape, cfg NeuronConfig, current, membrane *autodiff.Va
 	rows := shape[0]
 	rowLen := n / rows
 	words := (rowLen + 63) / 64
-	packOn := autodiff.SpikeKernelsEnabled()
+	packOn := compute.PackSpikePlanes()
 	var spkBits []uint64
 	var spkCounts []int
 	if packOn {

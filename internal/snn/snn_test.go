@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"snnsec/internal/autodiff"
+	"snnsec/internal/compute"
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
 )
@@ -535,8 +536,14 @@ func TestSpikeKernelsBitIdenticalEndToEnd(t *testing.T) {
 		params        []*tensor.Tensor
 	}
 	run := func(spike bool) result {
-		autodiff.SetSpikeKernels(spike)
-		defer autodiff.SetSpikeKernels(true)
+		pol := compute.DefaultDispatchPolicy()
+		if spike {
+			pol.Mode = compute.DispatchSparse
+		} else {
+			pol.Mode = compute.DispatchDense
+		}
+		compute.SetDispatchPolicy(pol)
+		defer compute.SetDispatchPolicy(compute.DefaultDispatchPolicy())
 		net := build()
 		tp := autodiff.NewTape()
 		x := tp.Var(xT.Clone())

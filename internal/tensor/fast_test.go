@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"snnsec/internal/compute"
+)
+
+// The fast tier gives up bit-identity with the float64 reference
+// kernels, so its tests are tolerance-based: every result must sit
+// within float32-accumulation distance of the default tier, and —
+// the part that stays exact — must be bit-for-bit reproducible run to
+// run and across backend widths.
+
+func withFastTier(t *testing.T) {
+	t.Helper()
+	compute.SetPrecision(compute.Float32)
+	t.Cleanup(func() { compute.SetPrecision(compute.Float64) })
+}
+
+// assertClose checks |got-want| ≤ tol·(|want| + 1) element-wise — a
+// relative bound with an absolute floor, sized for float32 accumulation
+// over the inner dimensions used here.
+func assertClose(t *testing.T, name string, want, got *Tensor, tol float64) {
+	t.Helper()
+	if !want.SameShape(got) {
+		t.Fatalf("%s: shape %v vs %v", name, want.Shape(), got.Shape())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if diff := math.Abs(wd[i] - gd[i]); diff > tol*(math.Abs(wd[i])+1) {
+			t.Fatalf("%s: element %d: fast %v vs exact %v (diff %v)", name, i, gd[i], wd[i], diff)
+		}
+	}
+}
+
+const fastTol = 1e-4
+
+func TestFastTierMatMulTolerance(t *testing.T) {
+	r := NewRand(3, 5)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 3, 2}, {5, 17, 7}, {16, 64, 16}, {33, 65, 31}, {64, 128, 48},
+	}
+	ser := compute.Serial{}
+	for _, s := range shapes {
+		a := RandN(r, 0, 1, s.m, s.k)
+		b := RandN(r, 0, 1, s.k, s.n)
+		exact := MatMulOn(ser, a, b)
+		at := Transpose2D(a)
+		exactATB := MatMulATBOn(ser, at, b)
+		bt := Transpose2D(b)
+		exactABT := MatMulABTOn(ser, a, bt)
+
+		withFastTier(t)
+		name := fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n)
+		assertClose(t, "MatMul "+name, exact, MatMulOn(ser, a, b), fastTol)
+		assertClose(t, "MatMulATB "+name, exactATB, MatMulATBOn(ser, at, b), fastTol)
+		assertClose(t, "MatMulABT "+name, exactABT, MatMulABTOn(ser, a, bt), fastTol)
+		compute.SetPrecision(compute.Float64)
+	}
+}
+
+func TestFastTierConvTolerance(t *testing.T) {
+	r := NewRand(7, 11)
+	x := RandN(r, 0, 1, 3, 2, 8, 8)
+	w := RandN(r, 0, 0.5, 4, 2, 3, 3)
+	bias := RandN(r, 0, 0.5, 4)
+	p := ConvParams{Stride: 1, Padding: 1}
+	ser := compute.Serial{}
+	exact := Conv2DOn(ser, x, w, bias, p)
+	gout := RandN(r, 0, 1, exact.Shape()...)
+	exDX, exDW, exDB := Conv2DBackwardOn(ser, x, w, gout, p, true)
+
+	withFastTier(t)
+	assertClose(t, "Conv2D", exact, Conv2DOn(ser, x, w, bias, p), fastTol)
+	dx, dw, db := Conv2DBackwardOn(ser, x, w, gout, p, true)
+	assertClose(t, "Conv2D dx", exDX, dx, fastTol)
+	assertClose(t, "Conv2D dweight", exDW, dw, fastTol)
+	assertClose(t, "Conv2D dbias", exDB, db, fastTol)
+}
+
+// TestFastTierDeterminism pins the fast tier's own contract: results
+// differ from float64 in ulps, but they are bit-identical run to run
+// and across backend widths (the kernel choice per row block depends
+// only on the shape, never on the partitioning).
+func TestFastTierDeterminism(t *testing.T) {
+	r := NewRand(13, 17)
+	a := RandN(r, 0, 1, 33, 65)
+	b := RandN(r, 0, 1, 65, 31)
+	at := Transpose2D(a)
+	withFastTier(t)
+	ser := compute.Serial{}
+	want := MatMulOn(ser, a, b)
+	assertIdentical(t, "fast MatMul rerun", want, MatMulOn(ser, a, b))
+	wantATB := MatMulATBOn(ser, at, b)
+	forEachParallel(t, func(t *testing.T, be compute.Backend) {
+		assertIdentical(t, "fast MatMul parallel", want, MatMulOn(be, a, b))
+		assertIdentical(t, "fast MatMulATB parallel", wantATB, MatMulATBOn(be, at, b))
+	})
+}
+
+func TestFastTierPairwiseReductions(t *testing.T) {
+	r := NewRand(19, 23)
+	for _, n := range []int{1, 63, 64, 65, 1000, 4097} {
+		a := RandN(r, 0, 1, n)
+		b := RandN(r, 0, 1, n)
+		exactSum, exactDot := Sum(a), Dot(a, b)
+
+		withFastTier(t)
+		sum, dot := Sum(a), Dot(a, b)
+		if math.Abs(sum-exactSum) > 1e-9*(math.Abs(exactSum)+1) {
+			t.Errorf("pairwise Sum(%d) = %v, serial %v", n, sum, exactSum)
+		}
+		if math.Abs(dot-exactDot) > 1e-9*(math.Abs(exactDot)+1) {
+			t.Errorf("pairwise Dot(%d) = %v, serial %v", n, dot, exactDot)
+		}
+		// The tree shape is a function of the length alone, so reruns are
+		// bit-identical.
+		if Sum(a) != sum || Dot(a, b) != dot {
+			t.Errorf("pairwise reduction of length %d not reproducible", n)
+		}
+		compute.SetPrecision(compute.Float64)
+	}
+}
+
+// TestFastTierPerfGate is the same-run relative perf gate of the fast
+// tier: the float32 FMA path must beat the default blocked float64
+// kernel by ≥1.3× on the 256³ matmul, in this very process. The BENCH
+// record tracks the same pair; this test is what CI enforces.
+func TestFastTierPerfGate(t *testing.T) {
+	if !HasFastKernels() {
+		t.Skip("no FMA/AVX2 micro-kernels on this CPU")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation slows the float32 staging loops but not the assembly kernels; the non-race CI step enforces this gate")
+	}
+	r := NewRand(29, 31)
+	const m, k, n = 256, 256, 256
+	a := RandN(r, 0, 1, m, k)
+	b := RandN(r, 0, 1, k, n)
+	ser := compute.Serial{}
+
+	// Warm both tiers and check equivalence before timing.
+	exact := MatMulOn(ser, a, b)
+	compute.SetPrecision(compute.Float32)
+	defer compute.SetPrecision(compute.Float64)
+	assertClose(t, "perf gate equivalence", exact, MatMulOn(ser, a, b), fastTol)
+	compute.SetPrecision(compute.Float64)
+
+	const iters = 3
+	best := func(f func()) time.Duration {
+		bestD := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	slow := best(func() { MatMulOn(ser, a, b) })
+	compute.SetPrecision(compute.Float32)
+	fast := best(func() { MatMulOn(ser, a, b) })
+	compute.SetPrecision(compute.Float64)
+	speedup := float64(slow) / float64(fast)
+	t.Logf("default %v, fast %v (%.2fx) at %dx%dx%d", slow, fast, speedup, m, k, n)
+	if speedup < 1.3 {
+		t.Fatalf("fast tier only %.2fx over the default blocked kernel (want >= 1.3x)", speedup)
+	}
+}
+
+// TestDensityCrossoverGate sweeps spike density 0–100% in 10% steps on
+// the 256³ matmul, timing the select-accumulate spike kernel against
+// the dense blocked kernel on identical inputs. It logs the table the
+// dispatch thresholds are calibrated from (EXPERIMENTS.md holds the
+// recorded copy; SNNSEC_WRITE_CROSSOVER=1 refreshes it), and asserts
+// the dispatcher picks the measured-faster side at both extremes — a
+// density-adaptive policy must never lose to the kernel it rejected at
+// 0% or 100%.
+func TestDensityCrossoverGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the sparse-vs-dense timing ratio; the non-race CI step enforces this gate")
+	}
+	rng := spikeRand(11)
+	r := NewRand(41, 43)
+	const m, k, n = 256, 256, 256
+	b := RandN(r, 0, 1, k, n)
+	ser := compute.Serial{}
+
+	const iters = 2
+	best := func(f func()) time.Duration {
+		bestD := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+
+	type row struct {
+		density        float64
+		dense, sparse  time.Duration
+		speedup        float64
+		dispatchSparse bool
+	}
+	var rows []row
+	for pct := 0; pct <= 100; pct += 10 {
+		density := float64(pct) / 100
+		a := binaryTensor(rng, density, m, k)
+		sp := PackSpikes(a)
+		// Warm both kernels and pin equivalence at this density.
+		assertIdentical(t, fmt.Sprintf("crossover equivalence at %d%%", pct),
+			MatMulOn(ser, a, b), SpikeMatMulOn(ser, sp, b))
+		dense := best(func() { MatMulOn(ser, a, b) })
+		sparse := best(func() { SpikeMatMulOn(ser, sp, b) })
+		rows = append(rows, row{
+			density:        density,
+			dense:          dense,
+			sparse:         sparse,
+			speedup:        float64(dense) / float64(sparse),
+			dispatchSparse: compute.UseSparse(compute.KernelMatMul, sp.Density()),
+		})
+	}
+
+	var table strings.Builder
+	fmt.Fprintf(&table, "| density | dense | sparse | sparse speedup | dispatch |\n")
+	fmt.Fprintf(&table, "|---|---|---|---|---|\n")
+	crossover := -1.0
+	for _, rw := range rows {
+		pick := "dense"
+		if rw.dispatchSparse {
+			pick = "sparse"
+		}
+		fmt.Fprintf(&table, "| %3.0f%% | %v | %v | %.2fx | %s |\n",
+			rw.density*100, rw.dense.Round(10*time.Microsecond), rw.sparse.Round(10*time.Microsecond), rw.speedup, pick)
+		if rw.speedup >= 1 {
+			crossover = rw.density
+		}
+	}
+	t.Logf("density crossover sweep (%dx%dx%d, serial):\n%shighest density where sparse still wins: %.0f%%",
+		m, k, n, table.String(), crossover*100)
+
+	// The ends of the sweep are unambiguous: at 0% the spike kernel skips
+	// everything, at 100% it can only add overhead to dense work. The
+	// dispatcher must agree with the measurement on both.
+	lo, hi := rows[0], rows[len(rows)-1]
+	if !lo.dispatchSparse || lo.sparse > lo.dense {
+		t.Errorf("at 0%% density: dispatch sparse=%v, sparse %v vs dense %v — dispatcher must take the winning sparse side",
+			lo.dispatchSparse, lo.sparse, lo.dense)
+	}
+	if hi.dispatchSparse || hi.dense > hi.sparse {
+		t.Errorf("at 100%% density: dispatch sparse=%v, dense %v vs sparse %v — dispatcher must take the winning dense side",
+			hi.dispatchSparse, hi.dense, hi.sparse)
+	}
+
+	if os.Getenv("SNNSEC_WRITE_CROSSOVER") != "" {
+		if err := updateCrossoverTable(table.String()); err != nil {
+			t.Fatalf("updating EXPERIMENTS.md: %v", err)
+		}
+	}
+}
+
+// updateCrossoverTable replaces the marked section of EXPERIMENTS.md
+// with a freshly measured crossover table.
+func updateCrossoverTable(table string) error {
+	const path = "../../EXPERIMENTS.md"
+	const begin, end = "<!-- crossover:begin -->", "<!-- crossover:end -->"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s := string(raw)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		return fmt.Errorf("markers %q/%q not found", begin, end)
+	}
+	out := s[:i+len(begin)] + "\n" + table + s[j:]
+	return os.WriteFile(path, []byte(out), 0o644)
+}

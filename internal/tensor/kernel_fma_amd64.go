@@ -1,0 +1,36 @@
+package tensor
+
+// useFMA32 gates the fast tier's FMA+AVX2 float32 micro-kernel in
+// matMulF32Into. Unlike the default tier's AVX kernel, fusing the
+// multiply-add is exactly the point here: the fast tier trades the
+// bit-identity contract for speed, and FMA halves the rounding steps
+// while doubling throughput. When FMA/AVX2 is absent the fast tier
+// falls back to the scalar float32 loop (still deterministic, still
+// float32 semantics — just slower).
+var useFMA32 = hasFMAAsm()
+
+// hasFMAAsm reports whether the CPU supports AVX2 and FMA and the OS
+// preserves ymm state (CPUID.1:ECX {OSXSAVE, AVX, FMA}, XGETBV XCR0
+// {XMM, YMM}, CPUID.7.0:EBX {AVX2}).
+func hasFMAAsm() bool
+
+// mmPanel4FMA32 accumulates a 4-row × (groups·16)-column float32 output
+// panel:
+//
+//	dst[r][g*16+c] += Σ_p ar[p·aStepP/4] · b[p·bStepP/4 + g*16 + c]
+//
+// for r in [0,4), g in [0,groups), c in [0,16), where ar is the r-th of
+// the four a-row cursors a0..a3 and all strides are in bytes. Each
+// output element owns one ymm lane; the multiply-add is fused
+// (VFMADD231PS), accumulated in ascending-p order — deterministic, but
+// deliberately NOT bit-identical to a separate multiply+add. The caller
+// guarantees k ≥ 1 and full tiles (fringes run in Go).
+//
+//go:noescape
+func mmPanel4FMA32(dst *float32, dstRowStride int64, a0, a1, a2, a3 *float32, aStepP int64, b *float32, bStepP int64, k, groups int64)
+
+// mmPanel2FMA32 is the two-row variant of mmPanel4FMA32, used for the
+// row fringe when m mod 4 is 2 or 3.
+//
+//go:noescape
+func mmPanel2FMA32(dst *float32, dstRowStride int64, a0, a1 *float32, aStepP int64, b *float32, bStepP int64, k, groups int64)

@@ -1,0 +1,187 @@
+// FMA+AVX2 float32 micro-kernel for the fast tier (see
+// kernel_fma_amd64.go for the contract and fast.go for the blocking
+// scheme). The layout mirrors kernel_amd64.s with twice the lanes: a
+// ymm register holds 8 float32, so a 4-row × 16-column accumulator tile
+// again fills Y0..Y7 with two ymm per row, and VFMADD231PS replaces the
+// VMULPD/VADDPD pair — one rounding per step instead of two, which is
+// exactly the deviation from the default tier the fast tier opts into.
+
+#include "textflag.h"
+
+// func hasFMAAsm() bool
+TEXT ·hasFMAAsm(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	// Require CPUID.1:ECX.FMA[12], .OSXSAVE[27] and .AVX[28].
+	ANDL $(1<<12 | 1<<27 | 1<<28), CX
+	CMPL CX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  nofma
+	// Require the OS to save XMM (XCR0 bit 1) and YMM (bit 2) state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  nofma
+	// Require CPUID.7.0:EBX.AVX2[5] for the 256-bit integer-free
+	// broadcast forms.
+	MOVL  $7, AX
+	XORL  CX, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ    nofma
+	MOVB  $1, ret+0(FP)
+	RET
+
+nofma:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func mmPanel4FMA32(dst *float32, dstRowStride int64, a0, a1, a2, a3 *float32, aStepP int64, b *float32, bStepP int64, k, groups int64)
+//
+// Register layout: Y0..Y7 hold the 4×16 accumulator tile (two ymm per
+// row), Y8/Y9 the current 16 columns of b, Y10 the broadcast a
+// coefficient. DI/BX walk dst/b across column groups; SI, R9, R10, R11
+// are the four a-row cursors (reset per group), R12 the a step, R13 the
+// b row stride, AX the k countdown, CX the group countdown, DX a
+// scratch row pointer.
+TEXT ·mmPanel4FMA32(SB), NOSPLIT, $0-88
+	MOVQ dst+0(FP), DI
+	MOVQ dstRowStride+8(FP), R8
+	MOVQ aStepP+48(FP), R12
+	MOVQ b+56(FP), BX
+	MOVQ bStepP+64(FP), R13
+	MOVQ groups+80(FP), CX
+
+gloop:
+	TESTQ CX, CX
+	JZ    done
+
+	// Seed the accumulators from dst (the kernel accumulates into a
+	// caller-zeroed or partially-filled output).
+	MOVQ    DI, DX
+	VMOVUPS (DX), Y0
+	VMOVUPS 32(DX), Y1
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y2
+	VMOVUPS 32(DX), Y3
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y4
+	VMOVUPS 32(DX), Y5
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y6
+	VMOVUPS 32(DX), Y7
+
+	// Reset the operand cursors for this column group.
+	MOVQ a0+16(FP), SI
+	MOVQ a1+24(FP), R9
+	MOVQ a2+32(FP), R10
+	MOVQ a3+40(FP), R11
+	MOVQ BX, DX
+	MOVQ k+72(FP), AX
+
+ploop:
+	VMOVUPS      (DX), Y8
+	VMOVUPS      32(DX), Y9
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+	ADDQ         R12, SI
+	ADDQ         R12, R9
+	ADDQ         R12, R10
+	ADDQ         R12, R11
+	ADDQ         R13, DX
+	DECQ         AX
+	JNZ          ploop
+
+	// Write the tile back.
+	MOVQ    DI, DX
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS Y2, (DX)
+	VMOVUPS Y3, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS Y4, (DX)
+	VMOVUPS Y5, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS Y6, (DX)
+	VMOVUPS Y7, 32(DX)
+
+	// Advance to the next 16 columns (64 bytes of float32).
+	ADDQ $64, DI
+	ADDQ $64, BX
+	DECQ CX
+	JMP  gloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func mmPanel2FMA32(dst *float32, dstRowStride int64, a0, a1 *float32, aStepP int64, b *float32, bStepP int64, k, groups int64)
+//
+// Two-row variant of mmPanel4FMA32 for row fringes (m mod 4 in {2, 3});
+// same contract, Y0..Y3 accumulators.
+TEXT ·mmPanel2FMA32(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ dstRowStride+8(FP), R8
+	MOVQ aStepP+32(FP), R12
+	MOVQ b+40(FP), BX
+	MOVQ bStepP+48(FP), R13
+	MOVQ groups+64(FP), CX
+
+gloop2:
+	TESTQ CX, CX
+	JZ    done2
+
+	MOVQ    DI, DX
+	VMOVUPS (DX), Y0
+	VMOVUPS 32(DX), Y1
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y2
+	VMOVUPS 32(DX), Y3
+
+	MOVQ a0+16(FP), SI
+	MOVQ a1+24(FP), R9
+	MOVQ BX, DX
+	MOVQ k+56(FP), AX
+
+ploop2:
+	VMOVUPS      (DX), Y8
+	VMOVUPS      32(DX), Y9
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	ADDQ         R12, SI
+	ADDQ         R12, R9
+	ADDQ         R13, DX
+	DECQ         AX
+	JNZ          ploop2
+
+	MOVQ    DI, DX
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS Y2, (DX)
+	VMOVUPS Y3, 32(DX)
+
+	ADDQ $64, DI
+	ADDQ $64, BX
+	DECQ CX
+	JMP  gloop2
+
+done2:
+	VZEROUPPER
+	RET

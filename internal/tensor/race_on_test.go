@@ -1,0 +1,9 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Relative perf gates whose two sides are instrumented
+// asymmetrically (Go staging loops vs uninstrumented assembly) skip
+// under it; the dedicated non-race CI steps enforce them.
+const raceEnabled = true
