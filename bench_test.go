@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"snnsec/internal/attack"
 	"snnsec/internal/autodiff"
@@ -30,6 +31,7 @@ import (
 	"snnsec/internal/explore"
 	"snnsec/internal/nn"
 	"snnsec/internal/report"
+	"snnsec/internal/serve"
 	"snnsec/internal/snn"
 	"snnsec/internal/tensor"
 	"snnsec/internal/train"
@@ -674,6 +676,79 @@ func spikeBPTTDensity() float64 {
 	return sum / float64(len(net.Record.SpikeRates))
 }
 
+// ---------------------------------------------------------------------------
+// Tape-free serving (PR 7)
+
+// newServeBenchNet is the latency-serving fixture: a small dense-layer
+// SNN at the paper's default window T=64, evaluated one sample per
+// forward — the regime where the tape's per-step bookkeeping dominates
+// and the tape-free engine pays off most.
+func newServeBenchNet() *snn.Network {
+	r := tensor.NewRand(21, 0x5e4e)
+	cfg := snn.NeuronConfig{Vth: 0.3, Alpha: 0.9, Reset: snn.ResetZero, Surrogate: snn.FastSigmoid{Beta: 25}}
+	return &snn.Network{
+		Encoder: snn.NewPoissonEncoder(0.5, 23, 0xe5),
+		Hidden: []snn.Layer{
+			{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, 64, 8)), Cfg: cfg},
+			{Syn: nn.NewLinear(r, 8, 8), Cfg: cfg},
+		},
+		Readout:    nn.NewLinear(r, 8, core.NumClasses),
+		ReadoutCfg: cfg,
+		Mode:       snn.ReadoutSpikeCount,
+		T:          64,
+		LogitScale: 10,
+	}
+}
+
+func serveBenchInput() *tensor.Tensor {
+	return tensor.RandU(tensor.NewRand(22, 22), 0, 1, 1, 1, 8, 8)
+}
+
+func benchServeForwardTaped(b *testing.B) {
+	net := newServeBenchNet()
+	be := compute.NewSerial()
+	x := serveBenchInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train.LogitsOn(be, net, x)
+	}
+}
+
+func benchServeForwardTapeFree(b *testing.B) {
+	net := newServeBenchNet()
+	eng, err := serve.NewEngine(net, compute.NewSerial(), []int{1, 8, 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := serveBenchInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Logits(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// serveLatencyReport runs the same-process load benchmark: the serving
+// fixture behind the batching server at a fixed offered load on the
+// serial backend, reporting p50/p99 over the run.
+func serveLatencyReport() (*serve.LatencyReport, error) {
+	eng, err := serve.NewEngine(newServeBenchNet(), compute.NewSerial(), []int{1, 8, 8})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.NewServer(serve.Config{}, &serve.Model{Fingerprint: "bench", Runner: eng}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	sample := make([]float64, 64)
+	xd := serveBenchInput().Data()
+	copy(sample, xd)
+	rep := serve.MeasureLatency(srv, [][]float64{sample}, 200, 3*time.Second, 4)
+	return &rep, nil
+}
+
 // BENCH_compute.json schema: one history record per PR, appended (never
 // overwritten) by TestWriteComputeBenchJSON, so the perf trajectory of
 // the compute layer is reviewable across the stack. Each benchmark pair
@@ -696,6 +771,10 @@ type benchRecord struct {
 	// dense-vs-spike pair is auditable (0 for records predating it).
 	SpikeBPTTDensity float64          `json:"spike_bptt_density,omitempty"`
 	Benchmarks       []benchPairEntry `json:"benchmarks"`
+	// Serve is the same-process serving benchmark (PR 7): latency
+	// percentiles at a fixed offered load against the tape-free engine
+	// behind the batching server (absent for records predating it).
+	Serve *serve.LatencyReport `json:"serve,omitempty"`
 }
 
 type benchDoc struct {
@@ -755,12 +834,21 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 		// the opt-in float32 FMA/AVX2 staging path on the same product
 		// (single core). The CI perf gate requires ≥1.3× here.
 		{"MatMul256", "float64-default", "float32-fast", atTier(compute.Float64), atTier(compute.Float32)},
+		// Tape-free inference engine (PR 7): the taped forward vs the
+		// fused forward-only engine on the single-sample serving fixture
+		// (single core). The CI perf gate requires ≥1.5× here.
+		{"ServeForward", "taped", "tape-free", benchServeForwardTaped, benchServeForwardTapeFree},
 	}
 	label := os.Getenv("SNNSEC_BENCH_LABEL")
 	if label == "" {
 		label = "PR 6"
 	}
 	rec := benchRecord{Label: label, NumCPU: runtime.NumCPU(), SpikeBPTTDensity: spikeBPTTDensity()}
+	if rep, err := serveLatencyReport(); err == nil {
+		rec.Serve = rep
+	} else {
+		t.Fatalf("serve latency benchmark: %v", err)
+	}
 	for _, p := range pairs {
 		base := testing.Benchmark(p.base)
 		cand := testing.Benchmark(p.cand)

@@ -10,6 +10,7 @@
 //	snnsec fig9            tracked (Vth,T) combinations vs CNN (Figure 9)
 //	snnsec train           train one model and save a checkpoint
 //	snnsec attack          attack a saved checkpoint
+//	snnsec serve           serve a checkpoint for tape-free inference
 //	snnsec info            inspect a checkpoint
 //	snnsec analyze         activity / gradient-masking diagnostics vs Vth
 //	snnsec version         print the library version
@@ -105,6 +106,8 @@ func run(args []string) error {
 		return cmdTrain(args[1:])
 	case "attack":
 		return cmdAttack(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "info":
 		return cmdInfo(args[1:])
 	case "analyze":
@@ -133,6 +136,7 @@ subcommands:
   fig9     tracked combinations vs the CNN (Figure 9)
   train    train a model and save a checkpoint
   attack   attack a saved checkpoint
+  serve    serve a checkpoint for tape-free inference (HTTP or stdio)
   info     inspect a checkpoint
   analyze  spike-activity and gradient-masking diagnostics vs Vth
   version  print version
@@ -383,7 +387,7 @@ func cmdAttack(args []string) error {
 	if err != nil {
 		return err
 	}
-	victim, err := rebuildModel(s, m)
+	victim, _, err := core.BuildFromCheckpoint(s, m)
 	if err != nil {
 		return err
 	}
@@ -412,41 +416,6 @@ func cmdAttack(args []string) error {
 		fmt.Println(ev.String())
 	}
 	return nil
-}
-
-// rebuildModel reconstructs the victim from checkpoint metadata and
-// applies the saved weights.
-func rebuildModel(s core.Scale, m *modelio.Model) (nn.Classifier, error) {
-	switch m.Meta["model"] {
-	case "cnn":
-		cnn, err := core.NewLeNet5CNN(s.Net)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.Apply(cnn.Params()); err != nil {
-			return nil, err
-		}
-		return cnn, nil
-	case "snn":
-		vth, err := strconv.ParseFloat(m.Meta["vth"], 64)
-		if err != nil {
-			return nil, fmt.Errorf("checkpoint lacks vth: %w", err)
-		}
-		T, err := strconv.Atoi(m.Meta["T"])
-		if err != nil {
-			return nil, fmt.Errorf("checkpoint lacks T: %w", err)
-		}
-		net, err := core.NewSpikingLeNet5(s.Net, vth, T, core.SNNOptions{})
-		if err != nil {
-			return nil, err
-		}
-		if err := m.Apply(net.Params()); err != nil {
-			return nil, err
-		}
-		return net, nil
-	default:
-		return nil, fmt.Errorf("checkpoint has unknown model kind %q", m.Meta["model"])
-	}
 }
 
 func cmdInfo(args []string) error {

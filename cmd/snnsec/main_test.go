@@ -81,11 +81,11 @@ func TestInfoOnRealCheckpoint(t *testing.T) {
 func TestRebuildModelUnknownKind(t *testing.T) {
 	s := core.BenchScale()
 	m := &modelio.Model{Meta: map[string]string{"model": "transformer"}}
-	if _, err := rebuildModel(s, m); err == nil {
+	if _, _, err := core.BuildFromCheckpoint(s, m); err == nil {
 		t.Error("unknown model kind accepted")
 	}
 	m = &modelio.Model{Meta: map[string]string{"model": "snn"}}
-	if _, err := rebuildModel(s, m); err == nil {
+	if _, _, err := core.BuildFromCheckpoint(s, m); err == nil {
 		t.Error("snn checkpoint without vth accepted")
 	}
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/core"
+	"snnsec/internal/modelio"
+	"snnsec/internal/serve"
+)
+
+// cmdServe loads a checkpoint into the tape-free inference engine and
+// serves it — over HTTP on -addr, or as line-JSON on stdin/stdout with
+// -stdio. Both transports speak the same request/response objects, so a
+// served prediction can be diffed byte-for-byte against an offline run
+// (the CI smoke does exactly that).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	ckpt := fs.String("ckpt", "", "checkpoint path (required)")
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	stdio := fs.Bool("stdio", false, "serve line-JSON on stdin/stdout instead of HTTP")
+	maxBatch := fs.Int("max-batch", 64, "max samples per coalesced forward pass")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long an open batch waits for more requests")
+	queue := fs.Int("queue", 256, "request queue depth; overflow returns 429")
+	deadline := fs.Duration("deadline", 5*time.Second, "default per-request deadline")
+	cacheSize := fs.Int("cache", 4, "LRU capacity for uploaded models")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckpt == "" {
+		return fmt.Errorf("serve: -ckpt is required")
+	}
+	raw, err := os.ReadFile(*ckpt)
+	if err != nil {
+		return err
+	}
+	m, err := modelio.FromBytes(raw)
+	if err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	model, sample, err := core.BuildFromCheckpoint(s, m)
+	if err != nil {
+		return err
+	}
+	engine, err := serve.NewEngine(model, compute.Default(), sample)
+	if err != nil {
+		return err
+	}
+	def := &serve.Model{
+		Fingerprint: modelio.Fingerprint(raw),
+		Meta:        m.Meta,
+		Runner:      engine,
+	}
+	build := func(cm *modelio.Model) (serve.Runner, error) {
+		bm, bsample, err := core.BuildFromCheckpoint(s, cm)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewEngine(bm, compute.Default(), bsample)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		MaxBatch:        *maxBatch,
+		BatchWait:       *batchWait,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		CacheSize:       *cacheSize,
+	}, def, build)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serving %s %s (fingerprint %s)\n",
+		m.Meta["model"], *ckpt, def.Fingerprint[:12])
+	if *stdio {
+		return srv.ServeLines(os.Stdin, os.Stdout)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

@@ -17,7 +17,9 @@ package modelio
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"math"
@@ -166,13 +168,21 @@ func Load(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("modelio: %s too large", name)
 			}
 		}
-		data := make([]float64, n)
-		for j := range data {
-			var bits uint64
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+		// Read the payload in bounded chunks and grow the slice as bytes
+		// actually arrive: a corrupt header claiming maxElems values must
+		// fail on the first missing chunk, not after a 2 GB up-front
+		// allocation (the fuzz harness feeds exactly such headers).
+		const chunk = 1 << 13
+		data := make([]float64, 0, min(n, chunk))
+		raw := make([]byte, 8*min(n, chunk))
+		for len(data) < n {
+			c := min(chunk, n-len(data))
+			if _, err := io.ReadFull(br, raw[:8*c]); err != nil {
 				return nil, fmt.Errorf("modelio: %s data: %w", name, err)
 			}
-			data[j] = math.Float64frombits(bits)
+			for j := 0; j < c; j++ {
+				data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(raw[8*j:])))
+			}
 		}
 		m.Params = append(m.Params, SavedParam{Name: name, Data: tensor.FromSlice(data, shape...)})
 	}
@@ -238,6 +248,15 @@ func LoadFile(path string) (*Model, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// Fingerprint returns the SHA-256 hex digest of a serialised checkpoint
+// — the identity the serve model cache and the grid manifests key on.
+// Save writes metadata in sorted key order, so equal models produce
+// equal fingerprints.
+func Fingerprint(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 func writeString(w io.Writer, s string) error {

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snnsec/internal/tensor"
+)
+
+// call is one enqueued predict request. done is buffered (cap 1) and the
+// dispatcher is its only sender, so delivering a result never blocks
+// even when the requester has already given up; cancelled lets the
+// requester withdraw (deadline fired, client disconnected) without any
+// handshake — the dispatcher just skips the call when it gets there.
+type call struct {
+	runner    Runner
+	x         *tensor.Tensor // [n, sample...]
+	n         int
+	deadline  time.Time
+	cancelled atomic.Bool
+	done      chan callResult
+}
+
+type callResult struct {
+	logits *tensor.Tensor // [n, classes]
+	err    error
+}
+
+func (c *call) finish(res callResult) {
+	select {
+	case c.done <- res:
+	default:
+	}
+}
+
+// batcher owns the bounded request queue and the single dispatch
+// goroutine that coalesces compatible requests into one forward pass.
+// One goroutine is deliberate: the engine serialises forwards anyway
+// (kernel parallelism comes from the compute backend, batch parallelism
+// from coalescing), so more dispatchers would only add contention.
+type batcher struct {
+	maxBatch  int
+	batchWait time.Duration
+	depth     int
+
+	mu       sync.Mutex
+	queue    []*call
+	arrive   chan struct{} // best-effort arrival signal, cap 1
+	stop     chan struct{}
+	donec    chan struct{}
+	stopOnce sync.Once
+}
+
+func newBatcher(maxBatch int, batchWait time.Duration, depth int) *batcher {
+	b := &batcher{
+		maxBatch:  maxBatch,
+		batchWait: batchWait,
+		depth:     depth,
+		arrive:    make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		donec:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// enqueue admits a call or reports overload when the bounded queue is
+// full — the backpressure the transports translate into 429.
+func (b *batcher) enqueue(c *call) error {
+	b.mu.Lock()
+	if len(b.queue) >= b.depth {
+		b.mu.Unlock()
+		return ErrOverloaded
+	}
+	b.queue = append(b.queue, c)
+	b.mu.Unlock()
+	select {
+	case b.arrive <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// close stops the dispatcher and fails every queued call. Idempotent.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.donec
+	b.mu.Lock()
+	q := b.queue
+	b.queue = nil
+	b.mu.Unlock()
+	for _, c := range q {
+		c.finish(callResult{err: ErrClosed})
+	}
+}
+
+func (b *batcher) loop() {
+	defer close(b.donec)
+	for {
+		first := b.next()
+		if first == nil {
+			return
+		}
+		b.runBatch(b.coalesce(first))
+	}
+}
+
+// next pops the first live call, expiring dead ones on the way, or
+// blocks until an arrival (nil once stopped).
+func (b *batcher) next() *call {
+	for {
+		b.mu.Lock()
+		var c *call
+		for len(b.queue) > 0 {
+			head := b.queue[0]
+			b.queue = b.queue[1:]
+			if head.cancelled.Load() {
+				continue
+			}
+			if !head.deadline.IsZero() && time.Now().After(head.deadline) {
+				head.finish(callResult{err: ErrDeadline})
+				continue
+			}
+			c = head
+			break
+		}
+		b.mu.Unlock()
+		if c != nil {
+			return c
+		}
+		select {
+		case <-b.arrive:
+		case <-b.stop:
+			return nil
+		}
+	}
+}
+
+// coalesce grows a batch around first: it takes same-model calls off the
+// queue front (never jumping over a different model's request, so FIFO
+// order holds across models) until the batch is full or BatchWait has
+// passed since the batch opened.
+func (b *batcher) coalesce(first *call) []*call {
+	batch := []*call{first}
+	n := first.n
+	if b.maxBatch <= n {
+		return batch
+	}
+	var timeout <-chan time.Time
+	if b.batchWait > 0 {
+		timer := time.NewTimer(b.batchWait)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		b.mu.Lock()
+		for len(b.queue) > 0 && n < b.maxBatch {
+			c := b.queue[0]
+			if c.runner != first.runner || n+c.n > b.maxBatch {
+				break
+			}
+			b.queue = b.queue[1:]
+			if c.cancelled.Load() {
+				continue
+			}
+			batch = append(batch, c)
+			n += c.n
+		}
+		b.mu.Unlock()
+		if n >= b.maxBatch || timeout == nil {
+			return batch
+		}
+		select {
+		case <-b.arrive:
+		case <-timeout:
+			return batch
+		case <-b.stop:
+			return batch
+		}
+	}
+}
+
+// runBatch drops dead calls, runs one forward over the survivors'
+// concatenated inputs, and splits the logits back per call. Per-sample
+// logits are batch-composition invariant (every kernel computes a
+// sample's outputs from that sample's inputs alone), so coalescing never
+// changes what a request gets back.
+func (b *batcher) runBatch(batch []*call) {
+	now := time.Now()
+	live := batch[:0]
+	for _, c := range batch {
+		if c.cancelled.Load() {
+			continue
+		}
+		if !c.deadline.IsZero() && now.After(c.deadline) {
+			c.finish(callResult{err: ErrDeadline})
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+	x := live[0].x
+	if len(live) > 1 {
+		sample := live[0].x.Shape()[1:]
+		total := 0
+		for _, c := range live {
+			total += c.n
+		}
+		x = tensor.New(append([]int{total}, sample...)...)
+		xd := x.Data()
+		off := 0
+		for _, c := range live {
+			copy(xd[off:], c.x.Data())
+			off += c.x.Len()
+		}
+	}
+	logits, err := live[0].runner.Logits(x)
+	if err != nil {
+		for _, c := range live {
+			c.finish(callResult{err: err})
+		}
+		return
+	}
+	classes := logits.Dim(1)
+	ld := logits.Data()
+	off := 0
+	for _, c := range live {
+		part := make([]float64, c.n*classes)
+		copy(part, ld[off:off+len(part)])
+		off += len(part)
+		c.finish(callResult{logits: tensor.FromSlice(part, c.n, classes)})
+	}
+}

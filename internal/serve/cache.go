@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// modelCache is a small LRU over loaded models keyed by checkpoint
+// fingerprint (modelio.Fingerprint of the serialised bytes). Eviction
+// only drops the cache's reference: a model whose requests are still
+// queued keeps working — the calls hold the Runner directly — and the
+// memory goes back once the last request drains. That is what makes
+// eviction under load race-free without any handshake.
+type modelCache struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used; element values are *Model
+	byFP map[string]*list.Element
+}
+
+func newModelCache(max int) *modelCache {
+	return &modelCache{max: max, ll: list.New(), byFP: make(map[string]*list.Element)}
+}
+
+// Get returns the cached model and marks it most recently used, or nil.
+func (c *modelCache) Get(fp string) *Model {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*Model)
+}
+
+// Add inserts (or refreshes) a model and returns the model evicted to
+// make room, if any.
+func (c *modelCache) Add(m *Model) (evicted *Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFP[m.Fingerprint]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = m
+		return nil
+	}
+	c.byFP[m.Fingerprint] = c.ll.PushFront(m)
+	if c.ll.Len() <= c.max {
+		return nil
+	}
+	el := c.ll.Back()
+	c.ll.Remove(el)
+	ev := el.Value.(*Model)
+	delete(c.byFP, ev.Fingerprint)
+	return ev
+}
+
+// Len returns the number of cached models.
+func (c *modelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Fingerprints returns the cached fingerprints, most recently used first.
+func (c *modelCache) Fingerprints() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fps := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		fps = append(fps, el.Value.(*Model).Fingerprint)
+	}
+	return fps
+}

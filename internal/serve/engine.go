@@ -1,0 +1,368 @@
+// Package serve is the inference side of the repository: a tape-free
+// forward-only engine that runs a trained classifier with zero autodiff
+// allocations, and an HTTP/line-JSON server on top of it with request
+// coalescing, an LRU model cache, per-request deadlines and
+// bounded-queue backpressure.
+//
+// The engine mirrors the taped forward pass kernel for kernel — same
+// density-adaptive sparse-vs-dense dispatch per call, same fused LIF
+// threshold/pack pass, same accumulation order — so default-tier logits
+// are bit-identical to train.Predict's (pinned by the forward-
+// equivalence suite in engine_test.go). What it drops is everything the
+// tape exists for: node and Value allocations, surrogate passes,
+// retained per-timestep activations. Membrane, spike and accumulator
+// state live in backend-arena slabs reused across all T timesteps.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/nn"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+)
+
+// act is an activation flowing between layers: the dense tensor plus the
+// packed spike plane when the producer emitted a binary one. Each kernel
+// call consults the dispatch policy for the plane's density, exactly as
+// the taped ops do.
+type act struct {
+	t  *tensor.Tensor
+	sp *tensor.SpikeTensor
+}
+
+// spikeFor mirrors autodiff's per-call sparse-vs-dense choice: the plane
+// when the dispatch policy selects the spike kernel for its density, nil
+// for the dense kernel. Bit-identical either way; pure speed.
+func spikeFor(sp *tensor.SpikeTensor, f compute.KernelFamily) *tensor.SpikeTensor {
+	if sp == nil || !compute.UseSparse(f, sp.Density()) {
+		return nil
+	}
+	return sp
+}
+
+// Engine runs a classifier forward without a tape. One Engine serves one
+// model; calls are serialised (an SNN's rate encoder is a stateful
+// generator, and the state slabs are per-engine), so concurrency comes
+// from batching requests together, not from parallel forwards.
+type Engine struct {
+	mu     sync.Mutex
+	be     compute.Backend
+	net    *snn.Network // spiking path when non-nil
+	dense  nn.Layer     // non-spiking path otherwise
+	sample []int        // per-sample input shape, e.g. [1,H,W]
+}
+
+// NewEngine validates that the model is built only from layer types the
+// tape-free evaluator knows how to mirror and returns an engine bound to
+// be (nil selects compute.Default()). sample is the per-sample input
+// shape (without the batch dimension).
+func NewEngine(model nn.Classifier, be compute.Backend, sample []int) (*Engine, error) {
+	if be == nil {
+		be = compute.Default()
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("serve: empty sample shape")
+	}
+	for _, d := range sample {
+		if d <= 0 {
+			return nil, fmt.Errorf("serve: bad sample shape %v", sample)
+		}
+	}
+	e := &Engine{be: be, sample: append([]int(nil), sample...)}
+	switch m := model.(type) {
+	case *snn.Network:
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if _, ok := m.Encoder.(snn.ForwardEncoder); !ok {
+			return nil, fmt.Errorf("serve: encoder %s has no forward-only path", m.Encoder.Name())
+		}
+		if m.Mode != snn.ReadoutSpikeCount && m.Mode != snn.ReadoutMembrane {
+			return nil, fmt.Errorf("serve: unknown readout mode %v", m.Mode)
+		}
+		for i := range m.Hidden {
+			if err := checkSupported(m.Hidden[i].Syn); err != nil {
+				return nil, fmt.Errorf("serve: hidden layer %d: %w", i, err)
+			}
+		}
+		if err := checkSupported(m.Readout); err != nil {
+			return nil, fmt.Errorf("serve: readout: %w", err)
+		}
+		e.net = m
+	case nn.Layer:
+		if err := checkSupported(m); err != nil {
+			return nil, err
+		}
+		e.dense = m
+	default:
+		return nil, fmt.Errorf("serve: unsupported classifier %T", model)
+	}
+	return e, nil
+}
+
+// checkSupported walks a layer tree and rejects anything the type switch
+// in forwardLayer does not cover, so unsupported models fail at engine
+// construction instead of mid-request.
+func checkSupported(l nn.Layer) error {
+	switch v := l.(type) {
+	case *nn.Sequential:
+		for _, sub := range v.Layers {
+			if err := checkSupported(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *nn.Linear, *nn.Conv2D, nn.ReLU, nn.AvgPool, nn.MaxPool, nn.Flatten:
+		return nil
+	case *nn.Dropout:
+		if v.Training {
+			return fmt.Errorf("serve: dropout layer is in training mode")
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: unsupported layer type %T", l)
+	}
+}
+
+// SampleShape returns the per-sample input shape the engine expects.
+func (e *Engine) SampleShape() []int { return append([]int(nil), e.sample...) }
+
+// Logits runs the forward pass on x [N, sample...] and returns the
+// [N, classes] scores. At the default precision tier the result is
+// bit-identical to the taped train.Predict logits.
+func (e *Engine) Logits(x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	if err := e.checkInput(x); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("serve: forward failed: %v", r)
+		}
+	}()
+	if e.net != nil {
+		return e.snnLogits(x), nil
+	}
+	return e.forwardLayer(e.dense, act{t: x}).t, nil
+}
+
+// Predict returns the argmax class per sample.
+func (e *Engine) Predict(x *tensor.Tensor) ([]int, error) {
+	logits, err := e.Logits(x)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ArgmaxRowsOn(e.be, logits), nil
+}
+
+func (e *Engine) checkInput(x *tensor.Tensor) error {
+	if x == nil || x.Dims() != len(e.sample)+1 || x.Dim(0) <= 0 {
+		return fmt.Errorf("serve: input must be [N,%v]-shaped", e.sample)
+	}
+	for i, d := range e.sample {
+		if x.Dim(i+1) != d {
+			return fmt.Errorf("serve: input shape %v does not match sample shape %v", x.Shape(), e.sample)
+		}
+	}
+	return nil
+}
+
+// forwardLayer mirrors each nn layer's taped Forward with the same
+// kernel choices (see autodiff/ops.go), minus the recording.
+func (e *Engine) forwardLayer(l nn.Layer, a act) act {
+	be := e.be
+	switch v := l.(type) {
+	case *nn.Sequential:
+		for _, sub := range v.Layers {
+			a = e.forwardLayer(sub, a)
+		}
+		return a
+	case *nn.Linear:
+		if a.t.Dims() != 2 || a.t.Dim(1) != v.In {
+			panic(fmt.Sprintf("serve: Linear(%d→%d) got input %v", v.In, v.Out, a.t.Shape()))
+		}
+		var out *tensor.Tensor
+		if sp := spikeFor(a.sp, compute.KernelMatMul); sp != nil {
+			out = tensor.SpikeMatMulOn(be, sp, v.W.Data)
+		} else {
+			out = tensor.MatMulOn(be, a.t, v.W.Data)
+		}
+		return act{t: tensor.AddRowVectorOn(be, out, v.B.Data)}
+	case *nn.Conv2D:
+		if a.t.Dims() != 4 || a.t.Dim(1) != v.InChannels {
+			panic(fmt.Sprintf("serve: Conv2D(%d→%d) got input %v", v.InChannels, v.OutChannels, a.t.Shape()))
+		}
+		if sp := spikeFor(a.sp, compute.KernelConv); sp != nil {
+			return act{t: tensor.SpikeConv2DOn(be, sp, v.W.Data, v.B.Data, v.Conv)}
+		}
+		return act{t: tensor.Conv2DOn(be, a.t, v.W.Data, v.B.Data, v.Conv)}
+	case nn.ReLU:
+		return act{t: tensor.ReLUOn(be, a.t)}
+	case nn.AvgPool:
+		if sp := spikeFor(a.sp, compute.KernelPool); sp != nil && v.K <= 64 {
+			return act{t: tensor.SpikeAvgPool2DOn(be, sp, v.K)}
+		}
+		return act{t: tensor.AvgPool2DOn(be, a.t, v.K)}
+	case nn.MaxPool:
+		if sp := spikeFor(a.sp, compute.KernelPool); sp != nil && v.K <= 64 {
+			out, _, spOut := tensor.SpikeMaxPool2DOn(be, sp, v.K)
+			return act{t: out, sp: spOut}
+		}
+		out, _ := tensor.MaxPool2DOn(be, a.t, v.K)
+		return act{t: out}
+	case nn.Flatten:
+		n := a.t.Dim(0)
+		out := a.t.Reshape(n, -1)
+		res := act{t: out}
+		if a.sp != nil && out.Dim(0) == a.t.Dim(0) {
+			res.sp = a.sp.Reshape(out.Shape()...)
+		}
+		return res
+	case *nn.Dropout:
+		if v.Training {
+			panic("serve: dropout layer is in training mode")
+		}
+		return a
+	default:
+		panic(fmt.Sprintf("serve: unsupported layer type %T", l))
+	}
+}
+
+// popState is the per-population slab set the SNN loop reuses across all
+// T timesteps: membrane (and threshold excess for ALIF), the spike
+// output, and the packed-plane storage.
+type popState struct {
+	mem    []float64
+	ex     []float64
+	spk    []float64
+	bits   []uint64
+	counts []int
+	shape  []int
+	rows   int
+}
+
+func (e *Engine) newPopState(be compute.Backend, shape []int, adaptive, pack bool) *popState {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	st := &popState{shape: append([]int(nil), shape...), rows: shape[0]}
+	st.mem = be.Get(n)
+	clear(st.mem)
+	st.spk = be.Get(n)
+	if adaptive {
+		st.ex = be.Get(n)
+		clear(st.ex)
+	}
+	if pack {
+		rowLen := n / st.rows
+		words := (rowLen + 63) / 64
+		st.bits = compute.GetUint64(st.rows * words)
+		st.counts = make([]int, st.rows)
+	}
+	return st
+}
+
+func (st *popState) release(be compute.Backend) {
+	be.Put(st.mem)
+	be.Put(st.spk)
+	if st.ex != nil {
+		be.Put(st.ex)
+	}
+	if st.bits != nil {
+		compute.PutUint64(st.bits)
+	}
+}
+
+// snnLogits is the tape-free mirror of snn.Network.Logits: the same
+// T-step loop over the same kernels in the same order, with membrane and
+// accumulator state in reused arena slabs and the LIF threshold step
+// fused (leak → threshold → reset → pack in one pass, no surrogate).
+func (e *Engine) snnLogits(x *tensor.Tensor) *tensor.Tensor {
+	nw := e.net
+	be := e.be
+	enc := nw.Encoder.(snn.ForwardEncoder)
+	packOn := compute.PackSpikePlanes()
+
+	states := make([]*popState, len(nw.Hidden))
+	var outState *popState     // readout LIF population (spike-count mode)
+	var outMemT *tensor.Tensor // readout LI state (membrane mode)
+	var accSlab []float64      // running logit accumulator
+	var accT *tensor.Tensor
+	defer func() {
+		for _, st := range states {
+			if st != nil {
+				st.release(be)
+			}
+		}
+		if outState != nil {
+			outState.release(be)
+		}
+		if accSlab != nil {
+			be.Put(accSlab)
+		}
+	}()
+
+	for t := 0; t < nw.T; t++ {
+		hT, hSp := enc.EncodeForward(be, x, t)
+		a := act{t: hT, sp: hSp}
+		for l := range nw.Hidden {
+			cur := e.forwardLayer(nw.Hidden[l].Syn, a).t
+			st := states[l]
+			if st == nil {
+				st = e.newPopState(be, cur.Shape(), nw.Hidden[l].Adapt != nil, packOn)
+				states[l] = st
+			}
+			if ad := nw.Hidden[l].Adapt; ad != nil {
+				cfg := snn.AdaptiveConfig{NeuronConfig: nw.Hidden[l].Cfg, AdaptStep: ad.Step, AdaptDecay: ad.Decay}
+				snn.FusedALIFForward(be, cfg, cur.Data(), st.mem, st.ex, st.spk, st.rows, st.bits, st.counts)
+			} else {
+				snn.FusedLIFForward(be, nw.Hidden[l].Cfg, cur.Data(), st.mem, st.spk, st.rows, st.bits, st.counts)
+			}
+			a = act{t: tensor.FromSlice(st.spk, st.shape...)}
+			if packOn {
+				// A fresh header per step over the reused word slab: the
+				// popcount index is rebuilt by the fused step, and a new
+				// header keeps the lazily cached density/dense views from
+				// leaking across timesteps.
+				a.sp = tensor.NewSpikeTensorFromBits(st.bits, st.counts, st.shape...)
+			}
+		}
+		out := e.forwardLayer(nw.Readout, a).t
+		var contribution []float64
+		switch nw.Mode {
+		case snn.ReadoutSpikeCount:
+			if outState == nil {
+				// The readout plane feeds only the elementwise accumulator,
+				// so packing it would be pure overhead — skipping it cannot
+				// change a result (the taped path packs but never consults
+				// the plane either).
+				outState = e.newPopState(be, out.Shape(), false, false)
+			}
+			snn.FusedLIFForward(be, nw.ReadoutCfg, out.Data(), outState.mem, outState.spk, outState.rows, nil, nil)
+			contribution = outState.spk
+		case snn.ReadoutMembrane:
+			if outMemT == nil {
+				outMemT = tensor.New(out.Shape()...)
+			}
+			outMemT = tensor.AddOn(be, tensor.ScaleOn(be, outMemT, nw.ReadoutCfg.Alpha), out)
+			contribution = outMemT.Data()
+		default:
+			panic(fmt.Sprintf("serve: unknown readout mode %v", nw.Mode))
+		}
+		if accSlab == nil {
+			accSlab = be.Get(len(contribution))
+			copy(accSlab, contribution)
+			accT = tensor.FromSlice(accSlab, out.Shape()...)
+		} else {
+			// acc[i] += c[i] reads the old accumulator first, matching the
+			// taped Add(acc, contribution) operand order bit for bit.
+			tensor.AddIntoOn(be, accT, tensor.FromSlice(contribution, out.Shape()...))
+		}
+	}
+	return tensor.ScaleOn(be, accT, nw.LogitScale/float64(nw.T))
+}

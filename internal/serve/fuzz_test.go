@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"snnsec/internal/modelio"
+)
+
+// Fuzz targets for the two byte-eating entry points the server exposes
+// to untrusted clients: the predict-request parser and the checkpoint
+// deserialiser. The contract is the same for both: any input yields a
+// value or an error — never a panic, never an unbounded allocation.
+// Seed corpora live in testdata/fuzz/<FuzzName>/ (CI runs each target
+// for a short budget on top of the checked-in corpus).
+
+func fuzzRequestSeeds() [][]byte {
+	return [][]byte{
+		[]byte(`{"inputs":[[1,2],[3,4]]}`),
+		[]byte(`{"model":"abc","inputs":[[0.5]],"deadline_ms":100}`),
+		[]byte(`{"inputs":[]}`),
+		[]byte(`{"inputs":[[1],[2,3]]}`),
+		[]byte(`{"inputs":[[1]],"bogus":true}`),
+		[]byte(`{"inputs":[[1]]}{"inputs":[[2]]}`),
+		[]byte(`{"inputs":[[1]],"deadline_ms":-5}`),
+		[]byte(`{"inputs":[[1e308,-1e308,null]]}`),
+		[]byte(`[]`),
+		[]byte(`null`),
+		[]byte(``),
+		[]byte(`{`),
+		[]byte("\xff\xfe{}"),
+	}
+}
+
+func FuzzParsePredictRequest(f *testing.F) {
+	for _, seed := range fuzzRequestSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := ParsePredictRequest(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("non-ErrBadRequest error: %v", err)
+			}
+			return
+		}
+		// Accepted requests must satisfy the documented invariants the
+		// server relies on downstream.
+		if len(req.Inputs) == 0 || len(req.Inputs) > MaxRequestInputs {
+			t.Fatalf("accepted batch of %d inputs", len(req.Inputs))
+		}
+		want := len(req.Inputs[0])
+		if want == 0 || want > MaxSampleLen {
+			t.Fatalf("accepted sample length %d", want)
+		}
+		for i, row := range req.Inputs {
+			if len(row) != want {
+				t.Fatalf("accepted ragged row %d (%d vs %d)", i, len(row), want)
+			}
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline %d", req.DeadlineMS)
+		}
+	})
+}
+
+func fuzzCheckpointSeeds(f *testing.F) [][]byte {
+	var ok bytes.Buffer
+	if err := modelio.Save(&ok, map[string]string{"arch": "snn", "vth": "0.25"}, nil); err != nil {
+		f.Fatalf("save seed: %v", err)
+	}
+	valid := ok.Bytes()
+	seeds := [][]byte{
+		valid,
+		valid[:len(valid)-1],           // truncated tail
+		valid[:8],                      // magic only
+		[]byte("SNNSEC01"),             // bare magic
+		[]byte("SNNSEC99 junk"),        // wrong magic
+		{},                             // empty
+		bytes.Repeat([]byte{0xff}, 64), // huge length prefixes
+	}
+	// A corrupted copy: flip a byte inside the header region.
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 10 {
+		corrupt[10] ^= 0x80
+	}
+	return append(seeds, corrupt)
+}
+
+func FuzzFromBytes(f *testing.F) {
+	for _, seed := range fuzzCheckpointSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := modelio.FromBytes(b)
+		if err != nil {
+			return
+		}
+		// A successfully parsed model must respect the format bounds.
+		for _, p := range m.Params {
+			if p.Data == nil {
+				t.Fatalf("param %q has nil data", p.Name)
+			}
+			n := 1
+			for _, d := range p.Data.Shape() {
+				if d <= 0 {
+					t.Fatalf("param %q has non-positive dim %v", p.Name, p.Data.Shape())
+				}
+				n *= d
+			}
+			if p.Data.Len() != n {
+				t.Fatalf("param %q: %d elements for shape %v", p.Name, p.Data.Len(), p.Data.Shape())
+			}
+		}
+	})
+}

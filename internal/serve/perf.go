@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyReport summarises a same-process load run against a server:
+// offered vs achieved request rate and the latency distribution. It is
+// what the serving benchmark appends to BENCH_compute.json.
+type LatencyReport struct {
+	// OfferedRPS is the open-loop request rate the run scheduled.
+	OfferedRPS float64 `json:"offered_rps"`
+	// AchievedRPS is completed requests over the wall-clock span.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Requests is the number of completed (successful) requests.
+	Requests int `json:"requests"`
+	// Errors counts failed requests (deadline, overload).
+	Errors int `json:"errors,omitempty"`
+	// P50Ns and P99Ns are latency percentiles in nanoseconds.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// MeasureLatency drives the server at a fixed offered load from within
+// the process: requests are scheduled open-loop at rps (send times are
+// fixed up front, so a slow server cannot slow the arrival rate — the
+// honest way to measure tail latency) and executed by a bounded pool of
+// client goroutines. Each request carries one copy of sample. Returns
+// the percentile report over successful requests.
+func MeasureLatency(s *Server, sample [][]float64, rps float64, duration time.Duration, clients int) LatencyReport {
+	if clients <= 0 {
+		clients = 4
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	total := int(duration.Nanoseconds() / interval.Nanoseconds())
+	if total < 1 {
+		total = 1
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, total)
+	errs := 0
+	var wg sync.WaitGroup
+	next := make(chan int, total)
+	for i := 0; i < total; i++ {
+		next <- i
+	}
+	close(next)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Open loop: wait for this request's scheduled send time;
+				// if we are already late, send immediately (the lateness
+				// shows up as queueing in the measured latency).
+				sendAt := start.Add(time.Duration(i) * interval)
+				if d := time.Until(sendAt); d > 0 {
+					time.Sleep(d)
+				}
+				t0 := time.Now()
+				_, err := s.Predict(context.Background(), &PredictRequest{Inputs: sample})
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	span := time.Since(start)
+	rep := LatencyReport{
+		OfferedRPS:  rps,
+		AchievedRPS: float64(len(lats)) / span.Seconds(),
+		Requests:    len(lats),
+		Errors:      errs,
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.P50Ns = lats[len(lats)*50/100].Nanoseconds()
+		p99 := len(lats) * 99 / 100
+		if p99 >= len(lats) {
+			p99 = len(lats) - 1
+		}
+		rep.P99Ns = lats[p99].Nanoseconds()
+	}
+	return rep
+}

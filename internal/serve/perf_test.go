@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/nn"
+	"snnsec/internal/snn"
+	"snnsec/internal/tensor"
+	"snnsec/internal/train"
+)
+
+// perfNet is the fixture for the taped-vs-tape-free comparison: a small
+// dense-layer SNN at the paper's default window T=64, evaluated one
+// sample at a time — the latency-serving shape, where the tape's
+// per-step node/closure/surrogate overhead is the dominant cost the
+// engine removes (matmul work is shared by both paths and tiny here).
+// Weights are seeded, so both paths do identical arithmetic.
+func perfNet() *snn.Network {
+	r := rand.New(rand.NewPCG(eqSeed, 7))
+	cfg := snn.NeuronConfig{Vth: 0.3, Alpha: 0.9}
+	return &snn.Network{
+		Encoder: snn.NewPoissonEncoder(0.5, eqSeed, 11),
+		Hidden: []snn.Layer{
+			{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, eqC*eqHW*eqHW, 8)), Cfg: cfg},
+			{Syn: nn.NewLinear(r, 8, 8), Cfg: cfg},
+		},
+		Readout:    nn.NewLinear(r, 8, eqOut),
+		ReadoutCfg: cfg,
+		Mode:       snn.ReadoutSpikeCount,
+		T:          64,
+		LogitScale: 10,
+	}
+}
+
+func perfInput(n int) *tensor.Tensor {
+	x := tensor.New(n, eqC, eqHW, eqHW)
+	d := x.Data()
+	for i := range d {
+		d[i] = 1
+	}
+	return x
+}
+
+// measureForwards runs fn repeatedly for at least minWall and returns
+// forwards per second.
+func measureForwards(minWall time.Duration, fn func()) float64 {
+	fn() // warm up arenas and caches
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minWall {
+		fn()
+		iters++
+	}
+	return float64(iters) / time.Since(start).Seconds()
+}
+
+// TestTapeFreeThroughputGate is the CI perf gate: the tape-free engine
+// must clear 1.5× the taped forward's throughput on the same network,
+// input and backend. Skipped under -short so the race sweep and local
+// iteration stay fast; CI runs it as its own step on one core.
+func TestTapeFreeThroughputGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf gate skipped in -short mode")
+	}
+	net := perfNet()
+	be := compute.NewSerial()
+	x := perfInput(1)
+	enc := net.Encoder.(*snn.PoissonEncoder)
+
+	eng, err := NewEngine(net, be, x.Shape()[1:])
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	const wall = 2 * time.Second
+	taped := measureForwards(wall, func() {
+		enc.Reseed(eqSeed, 11)
+		train.LogitsOn(be, net, x)
+	})
+	free := measureForwards(wall, func() {
+		enc.Reseed(eqSeed, 11)
+		if _, err := eng.Logits(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := free / taped
+	t.Logf("taped %.1f fw/s, tape-free %.1f fw/s, ratio %.2fx", taped, free, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("tape-free/taped throughput ratio %.2fx below the 1.5x gate", ratio)
+	}
+}
+
+// TestMeasureLatency sanity-checks the load harness itself on a fast
+// fake: the report must count every request and order its percentiles.
+func TestMeasureLatency(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 2}
+	s := newFakeServer(t, Config{BatchWait: 100 * time.Microsecond}, r, nil)
+	rep := MeasureLatency(s, [][]float64{{1, 2, 3, 4}}, 200, 300*time.Millisecond, 4)
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors from an idle fake", rep.Errors)
+	}
+	if rep.P50Ns <= 0 || rep.P99Ns < rep.P50Ns {
+		t.Fatalf("bad percentiles: p50=%d p99=%d", rep.P50Ns, rep.P99Ns)
+	}
+}

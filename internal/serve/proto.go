@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol of the inference server. The same request/response JSON
+// travels over both transports — HTTP bodies on /v1/predict and one
+// object per line in -stdio mode — so an offline run can be compared
+// byte-for-byte against a served one (the CI serve smoke does exactly
+// that).
+
+// Request limits. These bound what a single request can make the parser
+// allocate before any model is consulted; per-model sample-length
+// validation happens later against the engine's input shape.
+const (
+	// MaxRequestInputs caps the samples one request may carry.
+	MaxRequestInputs = 4096
+	// MaxSampleLen caps the per-sample element count.
+	MaxSampleLen = 1 << 20
+)
+
+// PredictRequest asks for logits on a batch of flattened samples.
+type PredictRequest struct {
+	// Model selects a cached model by checkpoint fingerprint; empty
+	// selects the server's default model.
+	Model string `json:"model,omitempty"`
+	// Inputs holds one flattened sample per row, all the same length.
+	Inputs [][]float64 `json:"inputs"`
+	// DeadlineMS tightens the server's default per-request deadline
+	// (milliseconds); 0 keeps the default.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// PredictResponse returns the logits and argmax class per sample.
+type PredictResponse struct {
+	Model  string      `json:"model"`
+	Logits [][]float64 `json:"logits"`
+	Preds  []int       `json:"preds"`
+}
+
+// ErrBadRequest tags malformed requests so transports can map them to
+// 400 instead of 500.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// ParsePredictRequest strictly decodes a request body: unknown fields,
+// trailing data, empty or oversized batches, ragged rows and negative
+// deadlines are all rejected with an error wrapping ErrBadRequest —
+// never a panic, whatever the bytes (fuzz-enforced).
+func ParsePredictRequest(b []byte) (*PredictRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("%w: negative deadline_ms %d", ErrBadRequest, req.DeadlineMS)
+	}
+	if len(req.Inputs) == 0 {
+		return nil, fmt.Errorf("%w: empty inputs", ErrBadRequest)
+	}
+	if len(req.Inputs) > MaxRequestInputs {
+		return nil, fmt.Errorf("%w: %d inputs exceeds limit %d", ErrBadRequest, len(req.Inputs), MaxRequestInputs)
+	}
+	want := len(req.Inputs[0])
+	for i, row := range req.Inputs {
+		if len(row) == 0 || len(row) > MaxSampleLen {
+			return nil, fmt.Errorf("%w: input %d has %d elements (want 1..%d)", ErrBadRequest, i, len(row), MaxSampleLen)
+		}
+		if len(row) != want {
+			return nil, fmt.Errorf("%w: ragged inputs (%d elements at row %d, %d at row 0)", ErrBadRequest, len(row), i, want)
+		}
+	}
+	return &req, nil
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"snnsec/internal/modelio"
+	"snnsec/internal/tensor"
+)
+
+// Runner is what the server batches onto: the tape-free Engine in
+// production, fakes in the scheduling tests. Logits must be safe to call
+// from the dispatcher goroutine and must return an error (not panic) on
+// bad input.
+type Runner interface {
+	Logits(x *tensor.Tensor) (*tensor.Tensor, error)
+	SampleShape() []int
+}
+
+// Model couples a runner with the checkpoint identity it was built from.
+type Model struct {
+	// Fingerprint is modelio.Fingerprint of the serialised checkpoint.
+	Fingerprint string
+	// Meta is the checkpoint metadata (architecture, vth, T, ...).
+	Meta map[string]string
+	// Runner evaluates the model.
+	Runner Runner
+}
+
+// BuildFunc reconstructs a runner from an uploaded checkpoint.
+type BuildFunc func(m *modelio.Model) (Runner, error)
+
+// Sentinel errors the transports map to status codes.
+var (
+	// ErrOverloaded reports a full request queue (429).
+	ErrOverloaded = errors.New("serve: request queue full")
+	// ErrDeadline reports an expired per-request deadline (504).
+	ErrDeadline = errors.New("serve: deadline exceeded")
+	// ErrUnknownModel reports a fingerprint the cache does not hold (404).
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrClosed reports a server shut down mid-request (503).
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config tunes the server's scheduling. Zero values select the defaults.
+type Config struct {
+	// MaxBatch caps the samples one coalesced forward pass carries
+	// (default 64).
+	MaxBatch int
+	// BatchWait is how long an open batch waits for co-travellers before
+	// dispatching below MaxBatch (default 2ms).
+	BatchWait time.Duration
+	// QueueDepth bounds the request queue; enqueueing beyond it fails
+	// with ErrOverloaded → 429 (default 256).
+	QueueDepth int
+	// DefaultDeadline is the per-request deadline when the request does
+	// not tighten it (default 5s).
+	DefaultDeadline time.Duration
+	// CacheSize is the LRU model-cache capacity for uploaded models, not
+	// counting the pinned default model (default 4).
+	CacheSize int
+	// MaxBodyBytes bounds HTTP request bodies (default 64 MiB — a
+	// checkpoint upload is the largest legitimate body).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server schedules predict requests onto engines: one bounded queue, one
+// coalescing dispatcher, a pinned default model and an LRU cache of
+// uploaded ones.
+type Server struct {
+	cfg   Config
+	def   *Model
+	build BuildFunc
+	cache *modelCache
+	b     *batcher
+}
+
+// NewServer starts a server for the given default model. build may be
+// nil to disable checkpoint uploads.
+func NewServer(cfg Config, def *Model, build BuildFunc) (*Server, error) {
+	if def == nil || def.Runner == nil {
+		return nil, fmt.Errorf("serve: server needs a default model")
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		def:   def,
+		build: build,
+		cache: newModelCache(cfg.CacheSize),
+		b:     newBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth),
+	}, nil
+}
+
+// Close stops the dispatcher and fails queued requests with ErrClosed.
+func (s *Server) Close() { s.b.close() }
+
+// DefaultModel returns the pinned default model.
+func (s *Server) DefaultModel() *Model { return s.def }
+
+// AddModel deserialises an uploaded checkpoint, builds its runner and
+// caches it under its fingerprint, evicting the least recently used
+// model if the cache is full. In-flight requests on an evicted model
+// finish normally — eviction only drops the cache reference.
+func (s *Server) AddModel(raw []byte) (*Model, error) {
+	if s.build == nil {
+		return nil, fmt.Errorf("%w: model uploads are disabled", ErrBadRequest)
+	}
+	cm, err := modelio.FromBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	r, err := s.build(cm)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	m := &Model{Fingerprint: modelio.Fingerprint(raw), Meta: cm.Meta, Runner: r}
+	s.cache.Add(m)
+	return m, nil
+}
+
+// Models returns the default fingerprint plus the cached ones (MRU
+// first).
+func (s *Server) Models() []string {
+	return append([]string{s.def.Fingerprint}, s.cache.Fingerprints()...)
+}
+
+// Predict resolves the request's model, enqueues it and waits for the
+// coalesced result or the deadline, whichever comes first.
+func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
+	m := s.def
+	if req.Model != "" && req.Model != s.def.Fingerprint {
+		if m = s.cache.Get(req.Model); m == nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownModel, req.Model)
+		}
+	}
+	shape := m.Runner.SampleShape()
+	sampleLen := 1
+	for _, d := range shape {
+		sampleLen *= d
+	}
+	for i, row := range req.Inputs {
+		if len(row) != sampleLen {
+			return nil, fmt.Errorf("%w: input %d has %d elements, model %s wants %d",
+				ErrBadRequest, i, len(row), m.Fingerprint[:min(12, len(m.Fingerprint))], sampleLen)
+		}
+	}
+	n := len(req.Inputs)
+	x := tensor.New(append([]int{n}, shape...)...)
+	xd := x.Data()
+	for i, row := range req.Inputs {
+		copy(xd[i*sampleLen:(i+1)*sampleLen], row)
+	}
+	deadline := time.Now().Add(s.cfg.DefaultDeadline)
+	if req.DeadlineMS > 0 {
+		if d := time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond); d.Before(deadline) {
+			deadline = d
+		}
+	}
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
+	c := &call{runner: m.Runner, x: x, n: n, deadline: deadline, done: make(chan callResult, 1)}
+	if err := s.b.enqueue(c); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case res := <-c.done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		logits := make([][]float64, n)
+		classes := res.logits.Dim(1)
+		ld := res.logits.Data()
+		for i := range logits {
+			logits[i] = ld[i*classes : (i+1)*classes : (i+1)*classes]
+		}
+		return &PredictResponse{
+			Model:  m.Fingerprint,
+			Logits: logits,
+			Preds:  tensor.ArgmaxRowsOn(nil, res.logits),
+		}, nil
+	case <-timer.C:
+		c.cancelled.Store(true)
+		return nil, ErrDeadline
+	case <-ctx.Done():
+		c.cancelled.Store(true)
+		return nil, fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/predict  PredictRequest JSON → PredictResponse JSON
+//	POST /v1/models   raw checkpoint bytes → {"model": fingerprint, ...}
+//	GET  /v1/models   {"models": [fingerprints...]} (default first)
+//	GET  /healthz     {"ok": true}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/models", s.handleAddModel)
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": s.Models()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	req, err := ParsePredictRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Predict(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	m, err := s.AddModel(raw)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": m.Fingerprint, "meta": m.Meta})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnknownModel):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ---------------------------------------------------------------------------
+// Line-JSON transport
+
+// ServeLines serves the same protocol over a byte stream: one
+// PredictRequest JSON object per input line, one PredictResponse (or
+// {"error": ...}) JSON object per output line, in request order. The
+// response encoding is byte-identical to the HTTP body for the same
+// request, which is what lets the CI smoke diff a served batch against
+// the offline path.
+func (s *Server) ServeLines(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), int(s.cfg.MaxBodyBytes))
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		req, err := ParsePredictRequest(line)
+		if err != nil {
+			if eerr := enc.Encode(map[string]string{"error": err.Error()}); eerr != nil {
+				return eerr
+			}
+			continue
+		}
+		resp, err := s.Predict(context.Background(), req)
+		if err != nil {
+			if eerr := enc.Encode(map[string]string{"error": err.Error()}); eerr != nil {
+				return eerr
+			}
+			continue
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

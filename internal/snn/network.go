@@ -35,10 +35,23 @@ func (m ReadoutMode) String() string {
 }
 
 // Layer couples a synaptic transformation (convolution, pooling, linear —
-// any nn.Layer) with the LIF population that receives its current.
+// any nn.Layer) with the LIF population that receives its current. A
+// non-nil Adapt upgrades the population to an adaptive-threshold ALIF
+// neuron (ALIFStep); nil keeps the plain LIF dynamics.
 type Layer struct {
-	Syn nn.Layer
-	Cfg NeuronConfig
+	Syn   nn.Layer
+	Cfg   NeuronConfig
+	Adapt *Adaptation
+}
+
+// Adaptation selects threshold adaptation for a layer's population: each
+// spike raises the effective threshold by Step and the excess decays by
+// Decay per timestep (see AdaptiveConfig).
+type Adaptation struct {
+	// Step is the per-spike threshold increment (≥ 0).
+	Step float64
+	// Decay is the per-step decay of the threshold excess in [0,1).
+	Decay float64
 }
 
 // Trace records per-layer activity statistics of the last forward pass
@@ -93,6 +106,13 @@ func (n *Network) Validate() error {
 		return fmt.Errorf("snn: LogitScale must be positive, got %g", n.LogitScale)
 	}
 	for i := range n.Hidden {
+		if ad := n.Hidden[i].Adapt; ad != nil {
+			cfg := AdaptiveConfig{NeuronConfig: n.Hidden[i].Cfg, AdaptStep: ad.Step, AdaptDecay: ad.Decay}
+			if err := (&cfg).Validate(); err != nil {
+				return fmt.Errorf("snn: hidden layer %d: %w", i, err)
+			}
+			continue
+		}
 		cfg := n.Hidden[i].Cfg
 		if err := (&cfg).Validate(); err != nil {
 			return fmt.Errorf("snn: hidden layer %d: %w", i, err)
@@ -138,6 +158,7 @@ func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 		panic(err)
 	}
 	membranes := make([]*autodiff.Value, len(n.Hidden))
+	excess := make([]*tensor.Tensor, len(n.Hidden))
 	var outState *autodiff.Value
 	var acc *autodiff.Value
 	var rateSums []float64
@@ -152,9 +173,19 @@ func (n *Network) Logits(tp *autodiff.Tape, x *autodiff.Value) *autodiff.Value {
 			cur := n.Hidden[l].Syn.Forward(tp, h)
 			if membranes[l] == nil {
 				membranes[l] = tp.Const(tensor.New(cur.Data.Shape()...))
+				if n.Hidden[l].Adapt != nil {
+					excess[l] = tensor.New(cur.Data.Shape()...)
+				}
 			}
 			var spikes *autodiff.Value
-			spikes, membranes[l] = LIFStep(tp, n.Hidden[l].Cfg, cur, membranes[l])
+			if ad := n.Hidden[l].Adapt; ad != nil {
+				cfg := AdaptiveConfig{NeuronConfig: n.Hidden[l].Cfg, AdaptStep: ad.Step, AdaptDecay: ad.Decay}
+				st := &ALIFState{V: membranes[l], ThExcess: excess[l]}
+				spikes, st = ALIFStep(tp, cfg, cur, st)
+				membranes[l], excess[l] = st.V, st.ThExcess
+			} else {
+				spikes, membranes[l] = LIFStep(tp, n.Hidden[l].Cfg, cur, membranes[l])
+			}
 			if rateSums != nil {
 				rateSums[l] += spikeRate(spikes)
 			}

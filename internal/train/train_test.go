@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"snnsec/internal/compute"
 	"snnsec/internal/dataset"
 	"snnsec/internal/nn"
 	"snnsec/internal/tensor"
@@ -254,5 +256,58 @@ func TestScheduleDrivesOptimizer(t *testing.T) {
 	}
 	if opt.LR() != 0.01 {
 		t.Errorf("schedule did not set LR: %v", opt.LR())
+	}
+}
+
+// spyBackend wraps a backend and records whether it was ever invoked, so
+// tests can prove an ...On entry point actually runs on the caller's
+// backend instead of silently substituting the default.
+type spyBackend struct {
+	compute.Backend
+	used atomic.Bool
+}
+
+func (s *spyBackend) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	s.used.Store(true)
+	s.Backend.ParallelFor(n, grain, fn)
+}
+
+// TestPredictOnUsesCallerBackend is the regression test for the bug
+// where Predict built its tape on the default backend and ignored the
+// caller's: PredictOn must route every kernel through the backend it was
+// handed, and agree with Predict's results.
+func TestPredictOnUsesCallerBackend(t *testing.T) {
+	ds := smallData(t, 20)
+	model := smallCNN(9)
+	spy := &spyBackend{Backend: compute.NewSerial()}
+	got := PredictOn(spy, model, ds.X)
+	if !spy.used.Load() {
+		t.Fatal("PredictOn never used the caller's backend")
+	}
+	want := Predict(model, ds.X)
+	if len(got) != len(want) {
+		t.Fatalf("PredictOn returned %d preds, Predict %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pred %d: PredictOn %d vs Predict %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLogitsOnMatchesPredict pins the logits entry point the serve
+// equivalence harness compares against: argmax of LogitsOn must equal
+// PredictOn on the same backend.
+func TestLogitsOnMatchesPredict(t *testing.T) {
+	ds := smallData(t, 10)
+	model := smallCNN(11)
+	be := compute.NewSerial()
+	logits := LogitsOn(be, model, ds.X)
+	preds := PredictOn(be, model, ds.X)
+	am := tensor.ArgmaxRowsOn(be, logits)
+	for i := range preds {
+		if am[i] != preds[i] {
+			t.Fatalf("sample %d: argmax(LogitsOn)=%d, PredictOn=%d", i, am[i], preds[i])
+		}
 	}
 }

@@ -157,10 +157,43 @@ func EvaluateOn(be compute.Backend, model nn.Classifier, ds *dataset.Dataset, ba
 	return float64(correct) / float64(ds.Len())
 }
 
-// Predict returns the predicted class of each sample in x [N,1,H,W].
+// Predict returns the predicted class of each sample in x [N,1,H,W] on
+// the default backend.
 func Predict(model nn.Classifier, x *tensor.Tensor) []int {
-	tp := autodiff.NewTape()
-	return tensor.ArgmaxRows(model.Logits(tp, tp.Const(x)).Data)
+	return PredictOn(nil, model, x)
+}
+
+// PredictOn is Predict on an explicit compute backend (nil selects the
+// default). Predict used to ignore the caller's backend entirely —
+// always recording on a nil-selected tape — which meant serve and grid
+// workers could not bound their kernel widths; this variant threads the
+// backend through the tape like EvaluateOn does.
+func PredictOn(be compute.Backend, model nn.Classifier, x *tensor.Tensor) []int {
+	preds, _ := predictLogitsOn(be, model, x, false)
+	return preds
+}
+
+// LogitsOn runs one taped forward pass on an explicit backend (nil
+// selects the default) and returns a copy of the logits that survives
+// the tape's arena release. It is the taped reference the tape-free
+// inference engine is pinned against.
+func LogitsOn(be compute.Backend, model nn.Classifier, x *tensor.Tensor) *tensor.Tensor {
+	_, logits := predictLogitsOn(be, model, x, true)
+	return logits
+}
+
+func predictLogitsOn(be compute.Backend, model nn.Classifier, x *tensor.Tensor, wantLogits bool) ([]int, *tensor.Tensor) {
+	tp := autodiff.NewTapeOn(be)
+	logits := model.Logits(tp, tp.Const(x)).Data
+	var preds []int
+	var out *tensor.Tensor
+	if wantLogits {
+		out = logits.Clone()
+	} else {
+		preds = tensor.ArgmaxRowsOn(tp.Backend(), logits)
+	}
+	tp.Release()
+	return preds, out
 }
 
 // ConfusionMatrix returns the [classes][classes] count matrix with rows =
