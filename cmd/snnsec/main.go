@@ -26,11 +26,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	snnsec "snnsec"
 	"snnsec/internal/analysis"
@@ -38,6 +40,7 @@ import (
 	"snnsec/internal/compute"
 	"snnsec/internal/core"
 	"snnsec/internal/explore"
+	"snnsec/internal/faultinject"
 	"snnsec/internal/grid"
 	"snnsec/internal/modelio"
 	"snnsec/internal/nn"
@@ -45,9 +48,24 @@ import (
 	"snnsec/internal/tensor"
 )
 
+// exitCodeError carries a specific process exit code through the error
+// return of run — e.g. 3 for a serve drain that timed out with requests
+// still queued, so orchestration can tell "clean stop" from "dropped
+// work".
+type exitCodeError struct {
+	code int
+	msg  string
+}
+
+func (e exitCodeError) Error() string { return e.msg }
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "snnsec:", err)
+		var ec exitCodeError
+		if errors.As(err, &ec) {
+			os.Exit(ec.code)
+		}
 		os.Exit(1)
 	}
 }
@@ -63,12 +81,23 @@ func run(args []string) error {
 		"numerics tier: float64 (or exact; the default, bit-exact) or float32 (or fast; "+
 			"FMA/AVX2 float32 kernels with deterministic pairwise reductions — faster, not bit-identical to float64)")
 	fast := global.Bool("fast", false, "shorthand for -precision float32")
+	faults := global.String("faults", "",
+		"fault-injection spec for chaos testing, e.g. 'grid.worker.point@s1:2=exit;serve.forward@~0.1=delay:200ms' "+
+			"(falls back to SNNSEC_FAULTS; empty disables injection)")
+	faultSeed := global.Uint64("fault-seed", 0,
+		"seed for probabilistic (~p) fault rules; defaults to the run seed so a chaos schedule replays deterministically")
 	if err := global.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
 		return err
 	}
+	faultSeedSet := false
+	global.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			faultSeedSet = true
+		}
+	})
 	// Flag validation is strict: out-of-range and contradictory values are
 	// errors, never silently clamped or ignored.
 	if *workers < 0 {
@@ -87,6 +116,17 @@ func run(args []string) error {
 	compute.SetPrecision(prec)
 	if *workers > 0 {
 		compute.SetDefault(compute.New(*workers))
+	}
+	if err := faultinject.Init(*faults, *faultSeed, faultSeedSet); err != nil {
+		return err
+	}
+	// Re-export the policy so grid-worker subprocesses inherit it (their
+	// shard id is added per-process by the launcher).
+	if *faults != "" {
+		os.Setenv(faultinject.EnvSpec, *faults)
+	}
+	if faultSeedSet {
+		os.Setenv(faultinject.EnvSeed, strconv.FormatUint(*faultSeed, 10))
 	}
 	args = global.Args()
 	if len(args) == 0 {
@@ -131,12 +171,18 @@ subcommands:
   fig1     motivational CNN-vs-SNN robustness curves (Figure 1)
   grid     (Vth, T) learnability and robustness heat maps (Figures 6-8);
            -shards n distributes the sweep over grid-worker subprocesses
-           with durable -checkpoint-dir checkpoints and -resume
+           with durable -checkpoint-dir checkpoints and -resume; failure
+           handling is tuned by -stall-timeout (withdraw a silent
+           worker's point), -max-point-retries (quarantine a poison
+           point after this many retries) and -retry-backoff
   grid-worker  serve one shard of a distributed run over stdin/stdout
   fig9     tracked combinations vs the CNN (Figure 9)
   train    train a model and save a checkpoint
   attack   attack a saved checkpoint
-  serve    serve a checkpoint for tape-free inference (HTTP or stdio)
+  serve    serve a checkpoint for tape-free inference (HTTP or stdio);
+           SIGTERM/SIGINT drain gracefully within -drain-timeout
+           (exit 0: all accepted requests answered; exit 3: timed out
+           with requests dropped)
   info     inspect a checkpoint
   analyze  spike-activity and gradient-masking diagnostics vs Vth
   version  print version
@@ -155,11 +201,20 @@ global flags (before the subcommand):
                run-to-run reproducible but not bit-identical to float64.
                Grid results record the tier and refuse mixed-tier merges.
   -fast        shorthand for -precision float32
+  -faults s    deterministic fault-injection spec for chaos testing:
+               'point[@occurrence]=action' rules joined by ';', where
+               occurrence is N, N+, *, ~p (seeded probability) or
+               s<shard>:occ, and action is delay:<dur>, error, torn,
+               panic or exit. Fault points: grid.worker.point,
+               grid.checkpoint.write, serve.forward.
+  -fault-seed n  seed for ~p rules (default: the run seed)
 
 environment:
   SNNSEC_SCALE=paper     use the paper-scale preset (slow)
   SNNSEC_SCALE=tiny      use the smoke-test preset (2x2 grid, seconds)
   SNNSEC_MNIST_DIR=dir   load real MNIST IDX files from dir
+  SNNSEC_FAULTS=s        fault spec when -faults is not given
+  SNNSEC_FAULT_SEED=n    seed when -fault-seed is not given
 `)
 }
 
@@ -193,6 +248,12 @@ func cmdGrid(args []string) error {
 	ckptDir := fs.String("checkpoint-dir", "", "directory to persist per-point results (and model snapshots) for resume; requires -shards")
 	resume := fs.Bool("resume", false, "resume a previous run from -checkpoint-dir, computing only the missing points")
 	maxPoints := fs.Int("max-points", 0, "compute at most this many new points this invocation (0 = all); the partial result is resumable")
+	stallTimeout := fs.Duration("stall-timeout", 0,
+		"withdraw and reassign a point whose worker sends nothing (not even a heartbeat) for this long; 0 selects the default (2m), negative disables stall detection")
+	maxRetries := fs.Int("max-point-retries", 0,
+		"retries per failing point (each on a different shard) before it is quarantined and the sweep completes without it; 0 selects the default (3), negative disables retries")
+	retryBackoff := fs.Duration("retry-backoff", 0,
+		"delay before a failed point's first retry; the n-th retry waits backoff<<(n-1); 0 selects the default (1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,10 +261,16 @@ func cmdGrid(args []string) error {
 	var res *explore.Result
 	var err error
 	if *shards > 0 {
-		res, err = runDistributedGrid(s, *shards, *ckptDir, *resume, *maxPoints)
+		res, err = runDistributedGrid(s, gridRunOptions{
+			shards: *shards, ckptDir: *ckptDir, resume: *resume, maxPoints: *maxPoints,
+			stallTimeout: *stallTimeout, maxRetries: *maxRetries, retryBackoff: *retryBackoff,
+		})
 	} else {
 		if *ckptDir != "" || *resume || *maxPoints > 0 {
 			return fmt.Errorf("grid: -checkpoint-dir/-resume/-max-points require -shards")
+		}
+		if *stallTimeout != 0 || *maxRetries != 0 || *retryBackoff != 0 {
+			return fmt.Errorf("grid: -stall-timeout/-max-point-retries/-retry-backoff require -shards")
 		}
 		res, err = core.RunGrid(s, os.Stderr)
 	}
@@ -251,10 +318,21 @@ func cmdGrid(args []string) error {
 	return nil
 }
 
+// gridRunOptions carries the distributed-grid flag values.
+type gridRunOptions struct {
+	shards       int
+	ckptDir      string
+	resume       bool
+	maxPoints    int
+	stallTimeout time.Duration
+	maxRetries   int
+	retryBackoff time.Duration
+}
+
 // runDistributedGrid shards the sweep across local grid-worker
 // subprocesses (the binary re-executes itself), splitting the global
 // -workers CPU budget across them.
-func runDistributedGrid(s core.Scale, shards int, ckptDir string, resume bool, maxPoints int) (*explore.Result, error) {
+func runDistributedGrid(s core.Scale, o gridRunOptions) (*explore.Result, error) {
 	spec, err := s.GridSpec()
 	if err != nil {
 		return nil, err
@@ -264,13 +342,16 @@ func runDistributedGrid(s core.Scale, shards int, ckptDir string, resume bool, m
 		return nil, fmt.Errorf("grid: locating own binary to spawn workers: %w", err)
 	}
 	return grid.Run(context.Background(), spec, grid.Options{
-		Shards:         shards,
-		CheckpointDir:  ckptDir,
-		Resume:         resume,
-		SnapshotModels: ckptDir != "",
-		MaxPoints:      maxPoints,
-		Launch:         grid.ExecLauncher(self, "grid-worker"),
-		Log:            os.Stderr,
+		Shards:          o.shards,
+		CheckpointDir:   o.ckptDir,
+		Resume:          o.resume,
+		SnapshotModels:  o.ckptDir != "",
+		MaxPoints:       o.maxPoints,
+		StallTimeout:    o.stallTimeout,
+		MaxPointRetries: o.maxRetries,
+		RetryBackoff:    o.retryBackoff,
+		Launch:          grid.ExecLauncher(self, "grid-worker"),
+		Log:             os.Stderr,
 	})
 }
 

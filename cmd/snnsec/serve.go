@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"snnsec/internal/compute"
@@ -19,6 +22,13 @@ import (
 // -stdio. Both transports speak the same request/response objects, so a
 // served prediction can be diffed byte-for-byte against an offline run
 // (the CI smoke does exactly that).
+//
+// Shutdown is graceful on SIGTERM/SIGINT: the server stops accepting,
+// /healthz flips to 503 draining, and every already-accepted request is
+// answered before the process exits — bounded by -drain-timeout. Exit
+// codes: 0 when the drain finished (no accepted request was dropped),
+// 3 when the drain timed out and queued requests were failed, 1 for any
+// other error. A second signal kills the process immediately.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	ckpt := fs.String("ckpt", "", "checkpoint path (required)")
@@ -29,6 +39,8 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 256, "request queue depth; overflow returns 429")
 	deadline := fs.Duration("deadline", 5*time.Second, "default per-request deadline")
 	cacheSize := fs.Int("cache", 4, "LRU capacity for uploaded models")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
+		"how long a SIGTERM/SIGINT shutdown may spend answering already-accepted requests before giving up (exit code 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,13 +89,60 @@ func cmdServe(args []string) error {
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "serving %s %s (fingerprint %s)\n",
 		m.Meta["model"], *ckpt, def.Fingerprint[:12])
+
+	// ctx fires on the first SIGTERM/SIGINT; stop() then restores the
+	// default handlers, so a second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *stdio {
-		return srv.ServeLines(os.Stdin, os.Stdout)
+		if err := srv.ServeLinesContext(ctx, os.Stdin, os.Stdout); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			stop()
+			fmt.Fprintln(os.Stderr, "serve: signal received, draining")
+			if derr := srv.DrainAndClose(*drainTimeout); derr != nil {
+				return exitCodeError{code: 3, msg: derr.Error()}
+			}
+			fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+		}
+		return nil
 	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "listening on http://%s\n", ln.Addr())
-	return http.Serve(ln, srv.Handler())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "serve: signal received, draining (max %v)\n", *drainTimeout)
+	srv.BeginDrain()
+	start := time.Now()
+	// Shutdown closes the listener and waits for in-flight handlers —
+	// which wait on the batcher, still dispatching — so when it returns
+	// cleanly, every accepted request has been answered.
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil {
+		srv.Close()
+		return exitCodeError{code: 3, msg: fmt.Sprintf("serve: drain timed out after %v (%v); in-flight requests dropped", *drainTimeout, err)}
+	}
+	remaining := *drainTimeout - time.Since(start)
+	if remaining < time.Millisecond {
+		remaining = time.Millisecond
+	}
+	if derr := srv.DrainAndClose(remaining); derr != nil {
+		return exitCodeError{code: 3, msg: derr.Error()}
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+	return nil
 }

@@ -3,27 +3,42 @@ package grid
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"snnsec/internal/compute"
 	"snnsec/internal/explore"
+	"snnsec/internal/faultinject"
 )
 
 // Checkpoint layout (one directory per run):
 //
 //	manifest.json    — grid axes + spec fingerprint; written once at start
-//	point-00042.json — one explore.WirePoint per completed grid point
+//	point-00042.json — one CRC-wrapped explore.WirePoint per completed point
 //	model-00042.snn  — modelio snapshot of the point's trained network
 //
 // Point files are written atomically (temp file + rename), so a run
 // killed at any moment leaves either a complete point or no point —
-// never a torn one — and a resume re-runs at most the in-flight points.
-// The files are plain JSON/modelio so external tooling (or a human) can
+// never a torn one — on a filesystem that honours fsync+rename. Against
+// one that does not (or plain bit rot), every point file additionally
+// carries a CRC32 of its payload: a resume verifies each file, renames
+// any torn or corrupt one to <name>.corrupt, and re-queues its point
+// instead of aborting the session or — worse — merging garbage. The
+// files are plain JSON/modelio so external tooling (or a human) can
 // inspect partial results without the coordinator.
 
 const manifestName = "manifest.json"
+
+// manifestVersion is bumped whenever the on-disk format changes
+// incompatibly; version 2 introduced the CRC point-file envelope.
+const manifestVersion = 2
+
+// FaultCheckpointWrite is the fault point in the point-file write path;
+// it supports torn (the file lands truncated, as if the filesystem lied
+// about durability — exactly what the CRC exists to catch).
+const FaultCheckpointWrite = "grid.checkpoint.write"
 
 // manifest pins a checkpoint directory to one job.
 type manifest struct {
@@ -38,6 +53,16 @@ type manifest struct {
 	// different tier is rejected instead of producing a mixed result.
 	Precision string `json:"precision,omitempty"`
 }
+
+// pointEnvelope is the on-disk frame of one checkpointed point: the raw
+// WirePoint JSON plus the IEEE CRC32 of exactly those bytes (lower-case
+// hex), so torn and bit-flipped files are detected on resume.
+type pointEnvelope struct {
+	CRC32 string          `json:"crc32"`
+	Point json.RawMessage `json:"point"`
+}
+
+func pointCRC(raw []byte) string { return fmt.Sprintf("%08x", crc32.ChecksumIEEE(raw)) }
 
 // checkpoint is the coordinator's handle on the directory.
 type checkpoint struct {
@@ -56,7 +81,7 @@ func initCheckpoint(dir string, spec Spec, cfg *explore.Config, resume bool) (*c
 		return nil, err
 	}
 	want := manifest{
-		Version:     1,
+		Version:     manifestVersion,
 		Builder:     spec.Builder,
 		Fingerprint: spec.Fingerprint(),
 		Vths:        cfg.Vths,
@@ -69,6 +94,10 @@ func initCheckpoint(dir string, spec Spec, cfg *explore.Config, resume bool) (*c
 		var have manifest
 		if err := json.Unmarshal(raw, &have); err != nil {
 			return nil, fmt.Errorf("grid: corrupt checkpoint manifest %s: %w", path, err)
+		}
+		if have.Version != manifestVersion {
+			return nil, fmt.Errorf("grid: checkpoint %s uses format version %d, this build writes %d — finish it with the matching build or start fresh",
+				dir, have.Version, manifestVersion)
 		}
 		if have.Fingerprint != want.Fingerprint {
 			short := have.Fingerprint
@@ -100,15 +129,19 @@ func initCheckpoint(dir string, spec Spec, cfg *explore.Config, resume bool) (*c
 }
 
 // load returns the completed points recorded in the directory, keyed by
-// grid index. Unparsable point files are reported, not skipped: a resume
-// must not silently recompute (or worse, drop) a point that was counted
-// as done.
-func (c *checkpoint) load() (map[int]explore.Point, error) {
+// grid index, plus the names of any point files that failed
+// verification. A file that is empty, unparsable, or whose payload does
+// not match its recorded CRC is quarantined — renamed to <name>.corrupt
+// so the evidence survives — and its point simply stays pending, to be
+// recomputed like any other. Only I/O errors (unreadable directory,
+// failed rename) abort the load: those are environment problems a rerun
+// won't fix.
+func (c *checkpoint) load() (done map[int]explore.Point, corrupt []string, err error) {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	done := make(map[int]explore.Point)
+	done = make(map[int]explore.Point)
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasPrefix(name, "point-") || !strings.HasSuffix(name, ".json") {
@@ -116,19 +149,51 @@ func (c *checkpoint) load() (map[int]explore.Point, error) {
 		}
 		var idx int
 		if _, err := fmt.Sscanf(name, "point-%d.json", &idx); err != nil {
-			return nil, fmt.Errorf("grid: unrecognised checkpoint file %s", name)
+			return nil, nil, fmt.Errorf("grid: unrecognised checkpoint file %s", name)
 		}
 		raw, err := os.ReadFile(filepath.Join(c.dir, name))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var wp explore.WirePoint
-		if err := json.Unmarshal(raw, &wp); err != nil {
-			return nil, fmt.Errorf("grid: corrupt checkpoint point %s: %w", name, err)
+		wp, verr := verifyPoint(raw)
+		if verr != nil {
+			if err := c.quarantine(name); err != nil {
+				return nil, nil, fmt.Errorf("grid: quarantining %s (%v): %w", name, verr, err)
+			}
+			corrupt = append(corrupt, name)
+			continue
 		}
 		done[idx] = wp.Point()
 	}
-	return done, nil
+	return done, corrupt, nil
+}
+
+// verifyPoint decodes one point file and checks its payload CRC.
+func verifyPoint(raw []byte) (*explore.WirePoint, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	var env pointEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("unparsable envelope: %w", err)
+	}
+	if len(env.Point) == 0 || env.CRC32 == "" {
+		return nil, fmt.Errorf("envelope missing point or crc32")
+	}
+	if got := pointCRC(env.Point); got != env.CRC32 {
+		return nil, fmt.Errorf("crc mismatch: recorded %s, computed %s", env.CRC32, got)
+	}
+	var wp explore.WirePoint
+	if err := json.Unmarshal(env.Point, &wp); err != nil {
+		return nil, fmt.Errorf("unparsable point payload: %w", err)
+	}
+	return &wp, nil
+}
+
+// quarantine moves a failed point file aside as <name>.corrupt, keeping
+// the bytes for post-mortem while freeing the point to be recomputed.
+func (c *checkpoint) quarantine(name string) error {
+	return os.Rename(filepath.Join(c.dir, name), filepath.Join(c.dir, name+".corrupt"))
 }
 
 // savePoint durably records one completed point (and its optional model
@@ -144,7 +209,14 @@ func (c *checkpoint) savePoint(idx int, wp *explore.WirePoint, model []byte) err
 	if err != nil {
 		return err
 	}
-	return atomicWrite(filepath.Join(c.dir, pointFile(idx)), raw)
+	env, err := json.Marshal(pointEnvelope{CRC32: pointCRC(raw), Point: raw})
+	if err != nil {
+		return err
+	}
+	// The torn fault truncates what reaches the disk while the rename
+	// still happens — modelling a filesystem that lied about durability.
+	env = env[:faultinject.Torn(FaultCheckpointWrite, len(env))]
+	return atomicWrite(filepath.Join(c.dir, pointFile(idx)), env)
 }
 
 // atomicWrite writes data to path via a temp file and rename, fsyncing

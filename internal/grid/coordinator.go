@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"time"
 
 	"snnsec/internal/compute"
 	"snnsec/internal/explore"
+	"snnsec/internal/faultinject"
 )
 
 // Launcher starts (or attaches) the worker for one shard and returns its
@@ -43,11 +46,35 @@ type Options struct {
 	// budgeted sweeps and the CI resume smoke slice a grid across
 	// invocations.
 	MaxPoints int
+	// StallTimeout is how long a worker may go silent while a point is
+	// in flight before the coordinator withdraws the point and reassigns
+	// it to a surviving shard (the stalled transport is closed, exactly
+	// as if its pipe had died). Workers heartbeat at a quarter of this
+	// interval, so a slow point is distinguishable from a hung process.
+	// 0 selects the default (2m); negative disables stall detection.
+	StallTimeout time.Duration
+	// MaxPointRetries bounds how many times a failing point is retried
+	// (each retry lands on a different shard's queue) before it is
+	// quarantined as a poison point and the sweep completes without it.
+	// 0 selects the default (3); negative disables retries — the first
+	// failure quarantines the point.
+	MaxPointRetries int
+	// RetryBackoff is the delay before a failed point's first retry is
+	// requeued; the n-th retry waits RetryBackoff<<(n-1). 0 selects the
+	// default (1s); negative means requeue immediately.
+	RetryBackoff time.Duration
 	// Launch starts the shard workers; required.
 	Launch Launcher
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
+
+// Robustness defaults; see the Options fields above.
+const (
+	defaultStallTimeout    = 2 * time.Minute
+	defaultMaxPointRetries = 3
+	defaultRetryBackoff    = time.Second
+)
 
 // Run executes the grid job across worker processes and merges the
 // streamed points into an explore.Result. The merge is bit-identical to
@@ -66,6 +93,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 	if err := (&cfg).Validate(); err != nil {
 		return nil, err
 	}
+	// Coordinator-side fault points (checkpoint writes) derive their
+	// probabilistic schedule from the run seed unless seeded explicitly,
+	// mirroring the workers.
+	faultinject.Reseed(cfg.Seed)
 	if opts.Launch == nil {
 		return nil, fmt.Errorf("grid: no launcher configured")
 	}
@@ -87,9 +118,13 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 			return nil, err
 		}
 		if opts.Resume {
-			done, err := ck.load()
+			done, corrupt, err := ck.load()
 			if err != nil {
 				return nil, err
+			}
+			if len(corrupt) > 0 {
+				logf(opts.Log, "grid: quarantined %d corrupt checkpoint file(s) (%s); their points will be recomputed\n",
+					len(corrupt), strings.Join(corrupt, ", "))
 			}
 			for idx, p := range done {
 				if idx < 0 || idx >= len(res.Points) {
@@ -121,13 +156,36 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 	}
 	logf(opts.Log, "grid: %d points over %d shards, %d kernel workers each\n", len(pending), shards, kernelWorkers)
 
+	stallTimeout := opts.StallTimeout
+	switch {
+	case stallTimeout == 0:
+		stallTimeout = defaultStallTimeout
+	case stallTimeout < 0:
+		stallTimeout = 0
+	}
+	maxRetries := opts.MaxPointRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = defaultMaxPointRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	backoff := opts.RetryBackoff
+	switch {
+	case backoff == 0:
+		backoff = defaultRetryBackoff
+	case backoff < 0:
+		backoff = 0
+	}
+
 	co := &coordinator{
 		spec:          spec,
-		sched:         newScheduler(pending, shards, opts.MaxPoints),
+		sched:         newScheduler(pending, shards, opts.MaxPoints, maxRetries, backoff),
 		res:           res,
 		ck:            ck,
 		wantModel:     opts.SnapshotModels,
 		kernelWorkers: kernelWorkers,
+		stallTimeout:  stallTimeout,
 		log:           opts.Log,
 		total:         len(res.Points),
 		resumed:       len(res.Points) - len(pending),
@@ -179,6 +237,12 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 	if err := co.fatalError(); err != nil {
 		return res, err
 	}
+	// Poison points were deliberately abandoned: the sweep completes as a
+	// partial result (their cells stay unset, the report renders them as
+	// missing) rather than failing everything for a few bad cells.
+	if q := co.sched.quarantined(); len(q) > 0 {
+		logf(opts.Log, "grid: %d poison point(s) quarantined after repeated failures: %v — result is partial\n", len(q), q)
+	}
 	if rem := co.sched.pendingCount(); rem > 0 {
 		if co.sched.budgetExhausted() {
 			logf(opts.Log, "grid: point budget reached, %d points remain (resume from the checkpoint to continue)\n", rem)
@@ -196,8 +260,11 @@ type coordinator struct {
 	ck            *checkpoint
 	wantModel     bool
 	kernelWorkers int
-	log           io.Writer
-	total         int
+	// stallTimeout is the resolved silence budget for an in-flight point
+	// (0 = stall detection disabled).
+	stallTimeout time.Duration
+	log          io.Writer
+	total        int
 	// resumed counts the points already complete before this run.
 	resumed int
 
@@ -233,10 +300,22 @@ func (co *coordinator) closeTransports() {
 
 // serveShard drives one worker: hello, then a pull loop — the worker
 // announces ready, the coordinator assigns the next point (its own block
-// first, then stolen stragglers). A transport error at any step returns
-// the in-flight point to the queue for reassignment to surviving shards.
+// first, then stolen stragglers). A transport error at any step hands
+// the in-flight point to the retry scheduler for reassignment to a
+// surviving shard; so does a stall — a worker that stays silent for the
+// stall timeout while a point is in flight (heartbeats reset the clock)
+// has its point withdrawn and its transport closed, exactly as if the
+// pipe had died.
 func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 	c := newConn(t)
+	// Heartbeats at a quarter of the stall timeout give a healthy-but-
+	// slow worker four chances per window to prove it is alive.
+	hbMS := 0
+	if co.stallTimeout > 0 {
+		if hbMS = int(co.stallTimeout / 4 / time.Millisecond); hbMS < 1 {
+			hbMS = 1
+		}
+	}
 	if err := c.send(message{
 		Type:          msgHello,
 		Builder:       co.spec.Builder,
@@ -244,22 +323,79 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 		KernelWorkers: co.kernelWorkers,
 		WantModel:     co.wantModel,
 		Precision:     compute.ActivePrecision().Tag(),
+		HeartbeatMS:   hbMS,
 	}); err != nil {
 		return fmt.Errorf("grid: shard %d hello: %w", shard, err)
 	}
+
+	// recv blocks in a read syscall, so watching for stalls needs the
+	// reads on their own goroutine. The reader exits on the first recv
+	// error or when serveShard returns (closing readerStop; the eventual
+	// transport Close unblocks a read still in flight).
+	type recvResult struct {
+		m   message
+		err error
+	}
+	msgs := make(chan recvResult)
+	readerStop := make(chan struct{})
+	defer close(readerStop)
+	go func() {
+		for {
+			m, err := c.recv()
+			select {
+			case msgs <- recvResult{m, err}:
+				if err != nil {
+					return
+				}
+			case <-readerStop:
+				return
+			}
+		}
+	}()
+
 	inflight := -1
 	defer func() {
 		if inflight >= 0 {
-			co.sched.putBack(shard, inflight)
-			logf(co.log, "grid: shard %d lost point %d, requeued\n", shard, inflight)
+			co.pointFailed(shard, inflight, "shard lost")
 		}
 	}()
 	for {
-		m, err := c.recv()
-		if err != nil {
-			return fmt.Errorf("grid: shard %d: %w", shard, err)
+		// The stall clock is armed only while a point is in flight — an
+		// idle worker blocked on its next assignment legitimately sends
+		// nothing — and any message (heartbeats included) resets it.
+		var stallC <-chan time.Time
+		var stallT *time.Timer
+		if inflight >= 0 && co.stallTimeout > 0 {
+			stallT = time.NewTimer(co.stallTimeout)
+			stallC = stallT.C
+		}
+		var m message
+		select {
+		case r := <-msgs:
+			if stallT != nil {
+				stallT.Stop()
+			}
+			if r.err != nil {
+				return fmt.Errorf("grid: shard %d: %w", shard, r.err)
+			}
+			m = r.m
+		case <-stallC:
+			idx := inflight
+			inflight = -1
+			co.pointFailed(shard, idx, fmt.Sprintf("no heartbeat for %v", co.stallTimeout))
+			// The worker is known-wedged and its point is withdrawn:
+			// kill it outright rather than granting Close's grace
+			// period, and reap in the background so neither the
+			// rescheduled point nor the run's exit waits on it.
+			if k, ok := t.(interface{ Kill() }); ok {
+				k.Kill()
+			}
+			go t.Close()
+			return fmt.Errorf("grid: shard %d stalled on point %d (silent for %v); point withdrawn", shard, idx, co.stallTimeout)
 		}
 		switch m.Type {
+		case msgHeartbeat:
+			// Liveness only; receiving it already reset the stall clock.
 		case msgPointDone:
 			if m.Index != inflight || m.Point == nil {
 				return fmt.Errorf("grid: shard %d reported point %d, expected %d", shard, m.Index, inflight)
@@ -273,6 +409,12 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 				co.sched.stop()
 				return err
 			}
+		case msgPointFailed:
+			if m.Index != inflight {
+				return fmt.Errorf("grid: shard %d failed point %d, expected %d", shard, m.Index, inflight)
+			}
+			inflight = -1
+			co.pointFailed(shard, m.Index, m.Err)
 		case msgReady:
 			idx, ok := co.sched.next(shard)
 			if !ok {
@@ -286,6 +428,18 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 		default:
 			return fmt.Errorf("grid: shard %d sent unexpected %q", shard, m.Type)
 		}
+	}
+}
+
+// pointFailed routes one failed attempt through the retry scheduler and
+// logs the outcome (backoff retry on another shard, or quarantine).
+func (co *coordinator) pointFailed(shard, idx int, cause string) {
+	fails, quarantined := co.sched.fail(shard, idx)
+	switch {
+	case quarantined:
+		logf(co.log, "grid: point %d failed on shard %d (%s) — quarantined after %d failed attempts\n", idx, shard, cause, fails)
+	case fails > 0:
+		logf(co.log, "grid: point %d failed on shard %d (%s), retry %d scheduled\n", idx, shard, cause, fails)
 	}
 }
 
@@ -340,24 +494,43 @@ func logf(w io.Writer, format string, args ...any) {
 // scheduler hands out pending point indices. Each shard owns one
 // contiguous block (static assignment); a shard whose block drains
 // steals from the back of the richest remaining block. A shard with no
-// work left blocks until every in-flight point lands — if a straggler
-// shard dies, its point comes back and an idle shard picks it up.
+// work left blocks until every in-flight point lands and every retry
+// backoff drains — if a straggler shard dies or stalls, its point comes
+// back and an idle shard picks it up. A point that keeps failing is
+// retried at most maxRetries times (each retry targets a different
+// shard's queue, after an exponential backoff) and then quarantined:
+// the sweep completes without it rather than looping on a poison cell.
 type scheduler struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queues   [][]int
 	inflight int
+	// delayed counts points parked in retry-backoff timers — work that
+	// will reappear, so idle shards must not give up while it is pending.
+	delayed int
+	// fails counts failed attempts per point index.
+	fails      map[int]int
+	maxRetries int
+	backoff    time.Duration
+	// poisoned lists the quarantined point indices, in quarantine order.
+	poisoned []int
 	// budget is the remaining new-assignment allowance (-1 = unlimited).
 	budget int
 	// exhausted latches once a shard was turned away because the budget
-	// hit zero, so a later putBack refund cannot make the run look like a
+	// hit zero, so a later retry refund cannot make the run look like a
 	// worker failure.
 	exhausted bool
 	stopped   bool
 }
 
-func newScheduler(pending []int, shards, maxPoints int) *scheduler {
-	s := &scheduler{queues: make([][]int, shards), budget: -1}
+func newScheduler(pending []int, shards, maxPoints, maxRetries int, backoff time.Duration) *scheduler {
+	s := &scheduler{
+		queues:     make([][]int, shards),
+		fails:      make(map[int]int),
+		maxRetries: maxRetries,
+		backoff:    backoff,
+		budget:     -1,
+	}
 	if maxPoints > 0 {
 		s.budget = maxPoints
 	}
@@ -399,7 +572,7 @@ func (s *scheduler) next(shard int) (int, bool) {
 			}
 			return idx, true
 		}
-		if s.inflight == 0 {
+		if s.inflight == 0 && s.delayed == 0 {
 			return 0, false
 		}
 		s.cond.Wait()
@@ -437,17 +610,56 @@ func (s *scheduler) complete() {
 	s.cond.Broadcast()
 }
 
-// putBack returns a lost in-flight point to its shard's queue and
-// refunds the assignment budget.
-func (s *scheduler) putBack(shard, idx int) {
+// fail records one failed attempt for an in-flight point. While the
+// point is under its retry allowance it is requeued — to a different
+// shard each time, after an exponential backoff — with its assignment
+// budget refunded; past the allowance it is quarantined and the sweep
+// moves on without it. The returned count is the point's total failed
+// attempts (0 when the scheduler is already stopped and the failure is
+// discarded).
+func (s *scheduler) fail(shard, idx int) (fails int, quarantined bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.queues[shard] = append([]int{idx}, s.queues[shard]...)
 	s.inflight--
+	if s.stopped {
+		s.cond.Broadcast()
+		return 0, false
+	}
+	s.fails[idx]++
+	n := s.fails[idx]
+	if n > s.maxRetries {
+		s.poisoned = append(s.poisoned, idx)
+		s.cond.Broadcast()
+		return n, true
+	}
 	if s.budget >= 0 {
 		s.budget++
 	}
+	// A different shard per retry: if the failure was the worker's (a
+	// wedged process, a sick host), the retry dodges it; if it is the
+	// point's, distinct workers failing is what justifies quarantine.
+	target := (shard + n) % len(s.queues)
+	shift := n - 1
+	if shift > 16 {
+		shift = 16
+	}
+	s.delayed++
+	time.AfterFunc(s.backoff<<shift, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.delayed--
+		s.queues[target] = append(s.queues[target], idx)
+		s.cond.Broadcast()
+	})
 	s.cond.Broadcast()
+	return n, false
+}
+
+// quarantined returns the poison points abandoned so far.
+func (s *scheduler) quarantined() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.poisoned...)
 }
 
 // stop makes every subsequent (and blocked) next call return false.
@@ -458,11 +670,12 @@ func (s *scheduler) stop() {
 	s.cond.Broadcast()
 }
 
-// pendingCount returns queued plus in-flight points.
+// pendingCount returns queued, in-flight and backoff-parked points.
+// Quarantined points are not pending: they were deliberately abandoned.
 func (s *scheduler) pendingCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := s.inflight
+	n := s.inflight + s.delayed
 	for _, q := range s.queues {
 		n += len(q)
 	}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"snnsec/internal/dataset"
 	"snnsec/internal/explore"
@@ -426,7 +427,7 @@ func TestUnknownBuilder(t *testing.T) {
 // Scheduler unit tests
 
 func TestSchedulerStaticBlocks(t *testing.T) {
-	s := newScheduler([]int{0, 1, 2, 3, 4}, 2, 0)
+	s := newScheduler([]int{0, 1, 2, 3, 4}, 2, 0, 3, 0)
 	// Shard 0 owns {0,1,2}, shard 1 owns {3,4}.
 	if idx, ok := s.next(1); !ok || idx != 3 {
 		t.Fatalf("shard 1 first point = %d, want 3", idx)
@@ -437,7 +438,7 @@ func TestSchedulerStaticBlocks(t *testing.T) {
 }
 
 func TestSchedulerStealsFromRichest(t *testing.T) {
-	s := newScheduler([]int{0, 1, 2, 3, 4, 5}, 3, 0)
+	s := newScheduler([]int{0, 1, 2, 3, 4, 5}, 3, 0, 3, 0)
 	// Drain shard 2's block {4,5}.
 	s.next(2)
 	s.next(2)
@@ -451,17 +452,24 @@ func TestSchedulerStealsFromRichest(t *testing.T) {
 	}
 }
 
-func TestSchedulerPutBackAndBudget(t *testing.T) {
-	s := newScheduler([]int{0, 1, 2}, 1, 2)
+func TestSchedulerRetryAndBudget(t *testing.T) {
+	s := newScheduler([]int{0, 1, 2}, 1, 2, 3, 0)
 	i0, _ := s.next(0)
-	s.putBack(0, i0)
-	// The refunded assignment still fits the budget of 2.
-	if idx, ok := s.next(0); !ok || idx != i0 {
-		t.Fatalf("requeued point = %d, want %d", idx, i0)
+	if i0 != 0 {
+		t.Fatalf("first point = %d, want 0", i0)
+	}
+	// The failed assignment refunds the budget, so two fresh assignments
+	// still fit the allowance of 2; the retried point itself lands at the
+	// back of the queue and is the one the budget then excludes.
+	if n, q := s.fail(0, i0); q || n != 1 {
+		t.Fatalf("fail = (%d, %v), want first retry", n, q)
+	}
+	if idx, ok := s.next(0); !ok || idx != 1 {
+		t.Fatalf("second point = %d, want 1", idx)
 	}
 	s.complete()
-	if _, ok := s.next(0); !ok {
-		t.Fatal("second budgeted assignment refused")
+	if idx, ok := s.next(0); !ok || idx != 2 {
+		t.Fatalf("third point = %v, want 2", idx)
 	}
 	s.complete()
 	if _, ok := s.next(0); ok {
@@ -470,13 +478,14 @@ func TestSchedulerPutBackAndBudget(t *testing.T) {
 	if !s.budgetExhausted() {
 		t.Error("budget not reported exhausted")
 	}
+	// The retried point is still pending (queued or parked in backoff).
 	if s.pendingCount() != 1 {
 		t.Errorf("pendingCount = %d, want 1", s.pendingCount())
 	}
 }
 
 func TestSchedulerBlocksUntilInflightLands(t *testing.T) {
-	s := newScheduler([]int{0, 1}, 2, 0)
+	s := newScheduler([]int{0, 1}, 2, 0, 3, 0)
 	if _, ok := s.next(0); !ok {
 		t.Fatal("shard 0 got no point")
 	}
@@ -488,12 +497,12 @@ func TestSchedulerBlocksUntilInflightLands(t *testing.T) {
 		s.next(1) // takes shard 1's own point
 		s.complete()
 		// Shard 1 is now idle but shard 0's point is in flight: this call
-		// must block until the putBack below, then reacquire it.
+		// must block until the fail below requeues it, then reacquire it.
 		if idx, ok := s.next(1); ok {
 			got <- idx
 		}
 	}()
-	s.putBack(0, 0)
+	s.fail(0, 0)
 	wg.Wait()
 	select {
 	case idx := <-got:
@@ -502,6 +511,62 @@ func TestSchedulerBlocksUntilInflightLands(t *testing.T) {
 		}
 	default:
 		t.Error("idle shard did not pick up the requeued point")
+	}
+}
+
+func TestSchedulerQuarantinesPoisonPoint(t *testing.T) {
+	// One poison point, two shards, two retries allowed. Whichever queue
+	// each retry targets, shard 0 steals it back — next blocks while the
+	// zero-backoff requeue is in flight, so the loop is deterministic.
+	s := newScheduler([]int{0}, 2, 0, 2, 0)
+	for attempt := 1; ; attempt++ {
+		idx, ok := s.next(0)
+		if !ok {
+			t.Fatal("scheduler refused the retry")
+		}
+		if idx != 0 {
+			t.Fatalf("drew point %d, want 0", idx)
+		}
+		n, quarantined := s.fail(0, idx)
+		if quarantined {
+			if n != 3 {
+				t.Fatalf("quarantined after %d failed attempts, want 3 (initial + 2 retries)", n)
+			}
+			break
+		}
+		if attempt > 5 {
+			t.Fatal("poison point never quarantined")
+		}
+	}
+	if q := s.quarantined(); len(q) != 1 || q[0] != 0 {
+		t.Fatalf("quarantined = %v, want [0]", q)
+	}
+	// The poison point is abandoned, not pending: the sweep finishes.
+	if _, ok := s.next(0); ok {
+		t.Fatal("scheduler handed out a quarantined point")
+	}
+	if s.pendingCount() != 0 {
+		t.Errorf("pendingCount = %d, want 0 (quarantined points are abandoned)", s.pendingCount())
+	}
+}
+
+func TestSchedulerRetryTargetsOtherShard(t *testing.T) {
+	s := newScheduler([]int{0, 1, 2, 3}, 2, 0, 3, 0)
+	idx, _ := s.next(0) // shard 0's first point
+	s.fail(0, idx)
+	// Zero backoff: the requeue lands (asynchronously) on shard 1's queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		q := append([]int(nil), s.queues[1]...)
+		s.mu.Unlock()
+		if len(q) == 3 && q[2] == idx {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry of point %d never reached shard 1's queue (queue %v)", idx, q)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"os/exec"
 	"sync"
 	"time"
+
+	"snnsec/internal/faultinject"
 )
 
 // ExecLauncher spawns one local worker subprocess per shard, speaking
@@ -18,6 +20,11 @@ func ExecLauncher(name string, args ...string) Launcher {
 	return func(shard int) (Transport, error) {
 		cmd := exec.Command(name, args...)
 		cmd.Stderr = os.Stderr
+		// Tag the subprocess with its shard id so shard-scoped fault
+		// rules (point@s2:…) land on exactly one worker. The fault spec
+		// and seed themselves travel via the environment too (the CLI
+		// exports them), so a chaos schedule follows the whole tree.
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%d", faultinject.EnvShard, shard))
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
 			return nil, err
@@ -44,6 +51,16 @@ type execTransport struct {
 
 func (t *execTransport) Read(p []byte) (int, error)  { return t.out.Read(p) }
 func (t *execTransport) Write(p []byte) (int, error) { return t.in.Write(p) }
+
+// Kill forcibly terminates the worker process. The coordinator uses it
+// when a worker is known-wedged (its point already withdrawn after a
+// stall) so the subsequent Close reaps immediately instead of waiting
+// out the grace period.
+func (t *execTransport) Kill() {
+	if t.cmd.Process != nil {
+		_ = t.cmd.Process.Kill()
+	}
+}
 
 // Close shuts the worker down: closing stdin makes a healthy worker exit
 // its read loop; a wedged one is killed after a grace period so Close

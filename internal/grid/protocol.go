@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"snnsec/internal/explore"
 )
@@ -21,19 +22,27 @@ import (
 // Worker → coordinator:
 //
 //	{"type":"ready"}                  hello processed / previous point sent
+//	{"type":"heartbeat"}              still computing the assigned point
 //	{"type":"point_done","index":i,"point":…,"model":…}
+//	{"type":"point_failed","index":i,"err":…}  this point failed; worker lives on
 //	{"type":"fatal","err":…}          unrecoverable worker error
 //
 // A worker handles one point at a time (process-level parallelism is the
 // coordinator's job), so the conversation is a strict request/response
-// alternation after hello.
+// alternation after hello — except heartbeats, which the worker streams
+// while a point computes (at the hello's heartbeat_ms interval) so the
+// coordinator can tell a long-running point from a hung worker. A worker
+// that sends nothing for the coordinator's stall timeout has its point
+// withdrawn and reassigned, exactly as if its pipe had died.
 const (
-	msgHello     = "hello"
-	msgPoint     = "point"
-	msgDone      = "done"
-	msgReady     = "ready"
-	msgPointDone = "point_done"
-	msgFatal     = "fatal"
+	msgHello       = "hello"
+	msgPoint       = "point"
+	msgDone        = "done"
+	msgReady       = "ready"
+	msgHeartbeat   = "heartbeat"
+	msgPointDone   = "point_done"
+	msgPointFailed = "point_failed"
+	msgFatal       = "fatal"
 )
 
 // message is the single wire envelope of the protocol.
@@ -55,16 +64,20 @@ type message struct {
 	// every point either carries the coordinator's tier or is rejected
 	// at merge time.
 	Precision string `json:"precision,omitempty"`
+	// HeartbeatMS is the interval (milliseconds) at which the worker
+	// must send heartbeat messages while computing a point; 0 disables
+	// heartbeats (and the coordinator's stall detection with them).
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
 
-	// point / point_done fields. Index is the T-major grid index; no
-	// omitempty, 0 is a valid index.
+	// point / point_done / point_failed fields. Index is the T-major
+	// grid index; no omitempty, 0 is a valid index.
 	Index int                `json:"index"`
 	Point *explore.WirePoint `json:"point,omitempty"`
 	// Model is the modelio checkpoint of the trained point
 	// (base64-encoded by encoding/json).
 	Model []byte `json:"model,omitempty"`
 
-	// fatal field.
+	// fatal / point_failed error text.
 	Err string `json:"err,omitempty"`
 }
 
@@ -76,17 +89,24 @@ type Transport interface {
 	Close() error
 }
 
-// conn frames messages over a transport.
+// conn frames messages over a transport. send is mutex-guarded because
+// the worker's heartbeat goroutine writes concurrently with its main
+// loop; recv has a single reader on each side.
 type conn struct {
-	enc *json.Encoder
-	dec *json.Decoder
+	sendMu sync.Mutex
+	enc    *json.Encoder
+	dec    *json.Decoder
 }
 
 func newConn(rw io.ReadWriter) *conn {
 	return &conn{enc: json.NewEncoder(rw), dec: json.NewDecoder(rw)}
 }
 
-func (c *conn) send(m message) error { return c.enc.Encode(m) }
+func (c *conn) send(m message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.enc.Encode(m)
+}
 
 func (c *conn) recv() (message, error) {
 	var m message

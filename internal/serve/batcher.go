@@ -1,12 +1,19 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"snnsec/internal/faultinject"
 	"snnsec/internal/tensor"
 )
+
+// FaultServeForward is the fault point wrapping every dispatched forward
+// pass; it supports delay (a slow model), error and panic (a poisoned
+// request taking down the dispatcher — the bug safeLogits contains).
+const FaultServeForward = "serve.forward"
 
 // call is one enqueued predict request. done is buffered (cap 1) and the
 // dispatcher is its only sender, so delivering a result never blocks
@@ -50,6 +57,12 @@ type batcher struct {
 	stop     chan struct{}
 	donec    chan struct{}
 	stopOnce sync.Once
+	// abandoned latches when a drain timed out: the dispatcher may be
+	// wedged in a forward pass, so close must not wait for it.
+	abandoned atomic.Bool
+	// ewmaNS tracks the smoothed per-forward service time (nanoseconds);
+	// the dispatcher writes it, retryAfter reads it.
+	ewmaNS atomic.Int64
 }
 
 func newBatcher(maxBatch int, batchWait time.Duration, depth int) *batcher {
@@ -82,10 +95,15 @@ func (b *batcher) enqueue(c *call) error {
 	return nil
 }
 
-// close stops the dispatcher and fails every queued call. Idempotent.
+// close stops the dispatcher — the loop drains what is already queued
+// before exiting — and fails any straggler enqueued during shutdown with
+// ErrClosed. Idempotent. After a timed-out drain (abandoned), close does
+// not wait for the possibly-wedged dispatcher.
 func (b *batcher) close() {
 	b.stopOnce.Do(func() { close(b.stop) })
-	<-b.donec
+	if !b.abandoned.Load() {
+		<-b.donec
+	}
 	b.mu.Lock()
 	q := b.queue
 	b.queue = nil
@@ -93,6 +111,46 @@ func (b *batcher) close() {
 	for _, c := range q {
 		c.finish(callResult{err: ErrClosed})
 	}
+}
+
+// drainAndClose stops the dispatcher after it has answered everything
+// already queued, bounded by timeout. On timeout the remaining calls
+// fail with ErrClosed and an error is returned — the caller's signal
+// that accepted work was dropped.
+func (b *batcher) drainAndClose(timeout time.Duration) error {
+	b.stopOnce.Do(func() { close(b.stop) })
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-b.donec:
+		b.close()
+		return nil
+	case <-timer.C:
+		b.abandoned.Store(true)
+		b.close()
+		return fmt.Errorf("serve: drain did not finish within %v", timeout)
+	}
+}
+
+// retryAfter estimates, in whole seconds (≥1, capped at 60), how long a
+// rejected client should wait before retrying: the queue length times
+// the smoothed per-forward service time.
+func (b *batcher) retryAfter() int {
+	b.mu.Lock()
+	qlen := len(b.queue)
+	b.mu.Unlock()
+	per := time.Duration(b.ewmaNS.Load())
+	if per <= 0 {
+		return 1
+	}
+	secs := int((time.Duration(qlen+1)*per + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 func (b *batcher) loop() {
@@ -217,10 +275,23 @@ func (b *batcher) runBatch(batch []*call) {
 			off += c.x.Len()
 		}
 	}
-	logits, err := live[0].runner.Logits(x)
+	logits, err := b.forward(live[0].runner, x)
 	if err != nil {
+		if len(live) == 1 {
+			live[0].finish(callResult{err: err})
+			return
+		}
+		// One poisoned request must not fail its co-travellers: rerun
+		// each call alone so only the culprit sees the error. The panic
+		// is already converted to an error by safeLogits, so the
+		// dispatcher itself survives either way.
 		for _, c := range live {
-			c.finish(callResult{err: err})
+			lg, cerr := b.forward(c.runner, c.x)
+			if cerr != nil {
+				c.finish(callResult{err: cerr})
+				continue
+			}
+			c.finish(callResult{logits: lg})
 		}
 		return
 	}
@@ -233,4 +304,37 @@ func (b *batcher) runBatch(batch []*call) {
 		off += len(part)
 		c.finish(callResult{logits: tensor.FromSlice(part, c.n, classes)})
 	}
+}
+
+// forward runs one panic-isolated forward pass and folds its service
+// time into the retry-after estimate.
+func (b *batcher) forward(r Runner, x *tensor.Tensor) (*tensor.Tensor, error) {
+	start := time.Now()
+	lg, err := safeLogits(r, x)
+	if err == nil {
+		sample := time.Since(start).Nanoseconds()
+		if old := b.ewmaNS.Load(); old == 0 {
+			b.ewmaNS.Store(sample)
+		} else {
+			b.ewmaNS.Store(old - old/8 + sample/8)
+		}
+	}
+	return lg, err
+}
+
+// safeLogits converts a panicking runner into an error return. The
+// Runner contract says Logits must not panic, but the dispatcher is
+// shared by every request in the process — one poisoned request must
+// poison at most itself, never the runner loop. The serve.forward fault
+// point fires here, wrapping exactly what production wraps.
+func safeLogits(r Runner, x *tensor.Tensor) (logits *tensor.Tensor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: forward pass panicked: %v", p)
+		}
+	}()
+	if err := faultinject.Apply(FaultServeForward); err != nil {
+		return nil, err
+	}
+	return r.Logits(x)
 }

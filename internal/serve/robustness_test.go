@@ -1,0 +1,324 @@
+package serve
+
+// Failure-handling tests: panic isolation in the dispatcher, graceful
+// drain, overload backoff, and the serve.forward fault point.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snnsec/internal/faultinject"
+	"snnsec/internal/tensor"
+)
+
+// poisonMarker in a sample's first element makes poisonRunner panic —
+// the "one bad request" whose blast radius must stay one request.
+const poisonMarker = -1e9
+
+type poisonRunner struct {
+	inner *fakeRunner
+}
+
+func (p *poisonRunner) SampleShape() []int { return p.inner.SampleShape() }
+
+func (p *poisonRunner) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	xd := x.Data()
+	sampleLen := x.Len() / x.Dim(0)
+	for i := 0; i < x.Dim(0); i++ {
+		if xd[i*sampleLen] == poisonMarker {
+			panic("poisoned request")
+		}
+	}
+	return p.inner.Logits(x)
+}
+
+func TestPanicIsolatedToPoisonedRequest(t *testing.T) {
+	r := &poisonRunner{inner: &fakeRunner{sample: []int{4}, classes: 3}}
+	s, err := NewServer(Config{MaxBatch: 16, BatchWait: 20 * time.Millisecond, QueueDepth: 64},
+		&Model{Fingerprint: "default", Runner: r}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// A poisoned request and healthy co-travellers, in flight together
+	// (the generous BatchWait coalesces them into one batch).
+	const healthy = 4
+	var wg sync.WaitGroup
+	healthyErrs := make(chan error, healthy)
+	poisonErr := make(chan error, 1)
+	for i := 0; i < healthy; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &PredictRequest{Inputs: [][]float64{{1, 2, 3, float64(i)}}}
+			_, err := s.Predict(context.Background(), req)
+			healthyErrs <- err
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := &PredictRequest{Inputs: [][]float64{{poisonMarker, 0, 0, 0}}}
+		_, err := s.Predict(context.Background(), req)
+		poisonErr <- err
+	}()
+	wg.Wait()
+
+	if err := <-poisonErr; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("poisoned request error = %v, want forward-pass panic", err)
+	}
+	for i := 0; i < healthy; i++ {
+		if err := <-healthyErrs; err != nil {
+			t.Errorf("healthy co-traveller failed: %v", err)
+		}
+	}
+	// The dispatcher survived: a fresh request still works.
+	if _, err := s.Predict(context.Background(), &PredictRequest{Inputs: [][]float64{{1, 1, 1, 1}}}); err != nil {
+		t.Errorf("request after panic failed: %v", err)
+	}
+}
+
+func TestDrainAnswersEverythingQueued(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 3, delay: 15 * time.Millisecond}
+	s := newFakeServer(t, Config{MaxBatch: 1, BatchWait: time.Millisecond, QueueDepth: 64}, r, nil)
+
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Predict(context.Background(), &PredictRequest{Inputs: [][]float64{{1, 2, 3, 4}}})
+			errs <- err
+		}()
+	}
+	// Let the requests enqueue (MaxBatch 1 serialises them behind the
+	// 15ms forwards), then drain: every one must still be answered.
+	time.Sleep(10 * time.Millisecond)
+	if err := s.DrainAndClose(5 * time.Second); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("request dropped during drain: %v", err)
+		}
+	}
+	if !s.Draining() {
+		t.Error("server does not report draining")
+	}
+	// New work after the drain is refused, not silently queued.
+	if _, err := s.Predict(context.Background(), &PredictRequest{Inputs: [][]float64{{1, 2, 3, 4}}}); !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrClosed) {
+		t.Errorf("post-drain request error = %v, want closed/deadline", err)
+	}
+}
+
+func TestDrainTimeoutFailsRemainder(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 3, delay: 200 * time.Millisecond}
+	s := newFakeServer(t, Config{MaxBatch: 1, BatchWait: time.Millisecond, QueueDepth: 64, DefaultDeadline: time.Minute}, r, nil)
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Predict(context.Background(), &PredictRequest{Inputs: [][]float64{{1, 2, 3, 4}}})
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	// 5 × 200ms of queued work cannot drain in 50ms.
+	if err := s.DrainAndClose(50 * time.Millisecond); err == nil {
+		t.Fatal("drain of 1s of work finished within 50ms?")
+	}
+	wg.Wait()
+	close(errs)
+	var dropped int
+	for err := range errs {
+		if errors.Is(err, ErrClosed) {
+			dropped++
+		} else if err != nil {
+			t.Errorf("unexpected request error: %v", err)
+		}
+	}
+	if dropped == 0 {
+		t.Error("timed-out drain reported an error but dropped nothing")
+	}
+}
+
+func TestHealthzFlipsWhileDraining(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 3}
+	s := newFakeServer(t, Config{}, r, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d, want 200", resp.StatusCode)
+	}
+	s.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.OK || !body.Draining {
+		t.Errorf("healthz while draining: status %d body %+v, want 503 {ok:false draining:true}", resp.StatusCode, body)
+	}
+}
+
+func TestRetryAfterReflectsBacklog(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 3, delay: 50 * time.Millisecond}
+	s := newFakeServer(t, Config{MaxBatch: 1, BatchWait: time.Millisecond, QueueDepth: 2, DefaultDeadline: time.Minute}, r, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Prime the service-time estimate with one completed request.
+	body := `{"inputs":[[1,2,3,4]]}`
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming request: %d", resp.StatusCode)
+	}
+
+	// Saturate the depth-2 queue until a 429 arrives.
+	var wg sync.WaitGroup
+	got429 := make(chan string, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				got429 <- resp.Header.Get("Retry-After")
+			}
+		}()
+	}
+	wg.Wait()
+	close(got429)
+	saw := false
+	for ra := range got429 {
+		saw = true
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 || secs > 60 {
+			t.Errorf("Retry-After = %q, want an integer in [1,60]", ra)
+		}
+	}
+	if !saw {
+		t.Skip("queue never overflowed on this machine; nothing to assert")
+	}
+}
+
+func TestServeLinesContextStopsOnCancel(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 3}
+	s := newFakeServer(t, Config{}, r, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	var out strings.Builder
+	var mu sync.Mutex
+	done := make(chan error, 1)
+	go func() {
+		done <- s.ServeLinesContext(ctx, pr, syncWriter{mu: &mu, w: &out})
+	}()
+
+	if _, err := io.WriteString(pw, `{"inputs":[[1,2,3,4]]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first response so cancellation lands between requests.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := strings.Count(out.String(), "\n")
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first response never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled ServeLinesContext returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeLinesContext did not return after cancel")
+	}
+	pw.Close()
+	mu.Lock()
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	mu.Unlock()
+	if !strings.Contains(first, `"preds"`) {
+		t.Errorf("request served before cancel got %q, want a prediction", first)
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestForwardFaultPoint(t *testing.T) {
+	inj, err := faultinject.Parse("serve.forward@1=error;serve.forward@2=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(inj)
+	t.Cleanup(func() { faultinject.Set(nil) })
+
+	r := &fakeRunner{sample: []int{4}, classes: 3}
+	s := newFakeServer(t, Config{MaxBatch: 1}, r, nil)
+	req := &PredictRequest{Inputs: [][]float64{{1, 2, 3, 4}}}
+	if _, err := s.Predict(context.Background(), req); err == nil || !strings.Contains(err.Error(), "injected error") {
+		t.Errorf("hit 1: %v, want injected error", err)
+	}
+	if _, err := s.Predict(context.Background(), req); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("hit 2: %v, want recovered injected panic", err)
+	}
+	// Injection exhausted: the server is healthy.
+	if _, err := s.Predict(context.Background(), req); err != nil {
+		t.Errorf("hit 3: %v, want success", err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"snnsec/internal/modelio"
@@ -101,6 +103,10 @@ type Server struct {
 	build BuildFunc
 	cache *modelCache
 	b     *batcher
+	// draining flips when a graceful shutdown starts: /healthz answers
+	// 503 so load balancers stop routing here, while accepted requests
+	// keep being served.
+	draining atomic.Bool
 }
 
 // NewServer starts a server for the given default model. build may be
@@ -121,6 +127,24 @@ func NewServer(cfg Config, def *Model, build BuildFunc) (*Server, error) {
 
 // Close stops the dispatcher and fails queued requests with ErrClosed.
 func (s *Server) Close() { s.b.close() }
+
+// BeginDrain marks the server as draining: /healthz flips to 503 so load
+// balancers stop routing new work here, while everything already
+// accepted keeps being served. Call it when the shutdown signal arrives,
+// before closing listeners.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether a graceful shutdown has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainAndClose begins draining (if not already begun), answers every
+// request still queued — bounded by timeout — and then closes the
+// server. A non-nil error means the timeout fired and accepted requests
+// were failed with ErrClosed.
+func (s *Server) DrainAndClose(timeout time.Duration) error {
+	s.BeginDrain()
+	return s.b.drainAndClose(timeout)
+}
 
 // DefaultModel returns the pinned default model.
 func (s *Server) DefaultModel() *Model { return s.def }
@@ -235,6 +259,10 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"models": s.Models()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	return mux
@@ -243,17 +271,17 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		s.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	req, err := ParsePredictRequest(body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	resp, err := s.Predict(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -262,12 +290,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		s.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	m, err := s.AddModel(raw)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"model": m.Fingerprint, "meta": m.Meta})
@@ -280,14 +308,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		// Retry-After reflects the actual backlog: queue length times
+		// the smoothed per-forward service time, so clients back off
+		// proportionally to how overloaded the server really is.
+		w.Header().Set("Retry-After", strconv.Itoa(s.b.retryAfter()))
 	case errors.Is(err, ErrDeadline):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, ErrUnknownModel):
@@ -308,11 +339,51 @@ func writeError(w http.ResponseWriter, err error) {
 // request, which is what lets the CI smoke diff a served batch against
 // the offline path.
 func (s *Server) ServeLines(r io.Reader, w io.Writer) error {
+	return s.ServeLinesContext(context.Background(), r, w)
+}
+
+// ServeLinesContext is ServeLines with graceful drain: when ctx is
+// cancelled, the request currently being served is answered (the
+// cancellation is only observed between requests), no further lines are
+// read, and nil is returned — the stdio analogue of closing the HTTP
+// listener on SIGTERM. The reader goroutine may stay blocked in a read
+// until the process exits; that is fine for the one use (stdin of a
+// process about to exit).
+func (s *Server) ServeLinesContext(ctx context.Context, r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), int(s.cfg.MaxBodyBytes))
+	lines := make(chan []byte)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			line := append([]byte(nil), sc.Bytes()...)
+			select {
+			case lines <- line:
+			case <-ctx.Done():
+				return
+			}
+		}
+		scanErr <- sc.Err()
+	}()
 	enc := json.NewEncoder(w)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for {
+		var line []byte
+		select {
+		case <-ctx.Done():
+			return nil
+		case l, ok := <-lines:
+			if !ok {
+				select {
+				case err := <-scanErr:
+					return err
+				default:
+					// The reader quit because ctx fired mid-handoff.
+					return nil
+				}
+			}
+			line = l
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -323,6 +394,9 @@ func (s *Server) ServeLines(r io.Reader, w io.Writer) error {
 			}
 			continue
 		}
+		// Deliberately not ctx: a cancellation mid-request means drain,
+		// and an accepted request must still be answered (the per-request
+		// deadline bounds it regardless).
 		resp, err := s.Predict(context.Background(), req)
 		if err != nil {
 			if eerr := enc.Encode(map[string]string{"error": err.Error()}); eerr != nil {
@@ -334,5 +408,4 @@ func (s *Server) ServeLines(r io.Reader, w io.Writer) error {
 			return err
 		}
 	}
-	return sc.Err()
 }
