@@ -33,6 +33,7 @@ import (
 	"snnsec/internal/report"
 	"snnsec/internal/serve"
 	"snnsec/internal/snn"
+	"snnsec/internal/stream"
 	"snnsec/internal/tensor"
 	"snnsec/internal/train"
 )
@@ -729,10 +730,12 @@ func benchServeForwardTapeFree(b *testing.B) {
 	}
 }
 
-// serveLatencyReport runs the same-process load benchmark: the serving
-// fixture behind the batching server at a fixed offered load on the
-// serial backend, reporting p50/p99 over the run.
-func serveLatencyReport() (*serve.LatencyReport, error) {
+// serveLatencySweep runs the same-process load benchmark: the serving
+// fixture behind the batching server at ascending offered loads on the
+// serial backend, reporting p50/p99 per level. The knee — the last
+// level the server kept up with — is what BENCH_compute.json records
+// as the serving capacity.
+func serveLatencySweep() ([]serve.LatencyReport, error) {
 	eng, err := serve.NewEngine(newServeBenchNet(), compute.NewSerial(), []int{1, 8, 8})
 	if err != nil {
 		return nil, err
@@ -745,8 +748,88 @@ func serveLatencyReport() (*serve.LatencyReport, error) {
 	sample := make([]float64, 64)
 	xd := serveBenchInput().Data()
 	copy(sample, xd)
-	rep := serve.MeasureLatency(srv, [][]float64{sample}, 200, 3*time.Second, 4)
+	return serve.MeasureLatencySweep(srv, [][]float64{sample}, []float64{100, 200, 400, 800}, 1500*time.Millisecond, 4), nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming inference (PR 9)
+
+// newStreamBenchNet is the event-driven fixture: a dense-layer SNN over
+// a 16x16 sensor whose encoder is never called — the binner feeds
+// packed spike planes straight into the stateful engine.
+func newStreamBenchNet() *snn.Network {
+	r := tensor.NewRand(24, 0x57e4)
+	cfg := snn.NeuronConfig{Vth: 0.3, Alpha: 0.9, Reset: snn.ResetZero, Surrogate: snn.FastSigmoid{Beta: 25}}
+	return &snn.Network{
+		Encoder: snn.ConstantCurrentEncoder{Gain: 1},
+		Hidden: []snn.Layer{
+			{Syn: nn.NewSequential(nn.Flatten{}, nn.NewLinear(r, 16*16, 32)), Cfg: cfg},
+			{Syn: nn.NewLinear(r, 32, 32), Cfg: cfg},
+		},
+		Readout:    nn.NewLinear(r, 32, core.NumClasses),
+		ReadoutCfg: cfg,
+		Mode:       snn.ReadoutSpikeCount,
+		T:          4,
+		LogitScale: 10,
+	}
+}
+
+// streamBenchServer wires the fixture into a streaming server: 16x16
+// sensor, 4 steps per 4ms window, tiling hops (carried state).
+func streamBenchServer(be compute.Backend) (*stream.Server, error) {
+	eng, err := serve.NewEngine(newStreamBenchNet(), be, []int{1, 16, 16})
+	if err != nil {
+		return nil, err
+	}
+	return stream.NewServer(stream.Config{
+		Binner: stream.BinnerConfig{H: 16, W: 16, Steps: 4, WindowUS: 4000},
+	}, func() (stream.Runner, error) {
+		return eng.NewStatefulRunner(compute.PackSpikePlanes())
+	})
+}
+
+func streamBenchSource() (stream.EventSource, int64, error) {
+	src, err := dataset.NewGlyphEventStream(dataset.DefaultEventStreamConfig(
+		[]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 42))
+	if err != nil {
+		return nil, 0, err
+	}
+	return src, src.EndUS(), nil
+}
+
+// streamThroughputReport measures the event path end to end on one
+// core: synthetic glyph events → binner → stateful forward, replayed
+// for ~2s of wall clock.
+func streamThroughputReport() (*stream.ThroughputReport, error) {
+	sv, err := streamBenchServer(compute.NewSerial())
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sv.MeasureThroughput(2*time.Second, streamBenchSource)
+	if err != nil {
+		return nil, err
+	}
 	return &rep, nil
+}
+
+// BenchmarkStreamEventThroughput is the manual-run variant of the
+// streaming throughput measurement: one op = one full replay of the
+// 200ms synthetic stream through a fresh session.
+func BenchmarkStreamEventThroughput(b *testing.B) {
+	sv, err := streamBenchServer(compute.NewSerial())
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sv.MeasureThroughput(0, streamBenchSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BENCH_compute.json schema: one history record per PR, appended (never
@@ -774,7 +857,16 @@ type benchRecord struct {
 	// Serve is the same-process serving benchmark (PR 7): latency
 	// percentiles at a fixed offered load against the tape-free engine
 	// behind the batching server (absent for records predating it).
+	// Since PR 9 it holds the knee level of ServeSweep.
 	Serve *serve.LatencyReport `json:"serve,omitempty"`
+	// ServeSweep is the offered-load sweep (PR 9): one report per
+	// ascending level; ServeKneeRPS is the last offered rate the server
+	// kept up with (achieved ≥ 90% of offered, errors ≤ 1%).
+	ServeSweep   []serve.LatencyReport `json:"serve_sweep,omitempty"`
+	ServeKneeRPS float64               `json:"serve_knee_rps,omitempty"`
+	// Stream is the event-driven streaming benchmark (PR 9): events/sec
+	// through binner + stateful forward on one core.
+	Stream *stream.ThroughputReport `json:"stream,omitempty"`
 }
 
 type benchDoc struct {
@@ -786,8 +878,9 @@ type benchDoc struct {
 // BENCH_compute.json: serial-vs-parallel for each kernel, the
 // per-image-vs-batched conv pipeline and naive-vs-blocked matmul pairs,
 // the dense-vs-sparse spike-kernel pairs (density sweep plus the
-// end-to-end sparse BPTT step), and the default-vs-fast numerics tier
-// pair. A record with the same label (SNNSEC_BENCH_LABEL, default
+// end-to-end sparse BPTT step), the default-vs-fast numerics tier
+// pair, the serving offered-load sweep with its knee, and the
+// streaming event-throughput run. A record with the same label (SNNSEC_BENCH_LABEL, default
 // "PR 6") is replaced; other PRs' records are preserved. It only runs when SNNSEC_WRITE_BENCH is set:
 //
 //	SNNSEC_WRITE_BENCH=1 go test -run TestWriteComputeBenchJSON
@@ -844,10 +937,19 @@ func TestWriteComputeBenchJSON(t *testing.T) {
 		label = "PR 6"
 	}
 	rec := benchRecord{Label: label, NumCPU: runtime.NumCPU(), SpikeBPTTDensity: spikeBPTTDensity()}
-	if rep, err := serveLatencyReport(); err == nil {
-		rec.Serve = rep
+	sweep, err := serveLatencySweep()
+	if err != nil {
+		t.Fatalf("serve latency sweep: %v", err)
+	}
+	rec.ServeSweep = sweep
+	if knee := serve.LatencyKnee(sweep); knee >= 0 {
+		rec.Serve = &sweep[knee]
+		rec.ServeKneeRPS = sweep[knee].OfferedRPS
+	}
+	if rep, err := streamThroughputReport(); err == nil {
+		rec.Stream = rep
 	} else {
-		t.Fatalf("serve latency benchmark: %v", err)
+		t.Fatalf("stream throughput benchmark: %v", err)
 	}
 	for _, p := range pairs {
 		base := testing.Benchmark(p.base)

@@ -11,6 +11,7 @@
 //	snnsec train           train one model and save a checkpoint
 //	snnsec attack          attack a saved checkpoint
 //	snnsec serve           serve a checkpoint for tape-free inference
+//	snnsec stream          event-driven streaming inference over rolling windows
 //	snnsec info            inspect a checkpoint
 //	snnsec analyze         activity / gradient-masking diagnostics vs Vth
 //	snnsec version         print the library version
@@ -82,7 +83,7 @@ func run(args []string) error {
 			"FMA/AVX2 float32 kernels with deterministic pairwise reductions — faster, not bit-identical to float64)")
 	fast := global.Bool("fast", false, "shorthand for -precision float32")
 	faults := global.String("faults", "",
-		"fault-injection spec for chaos testing, e.g. 'grid.worker.point@s1:2=exit;serve.forward@~0.1=delay:200ms' "+
+		"fault-injection spec for chaos testing, e.g. 'grid.worker.point@s1:2=exit;stream.window@2=panic' "+
 			"(falls back to SNNSEC_FAULTS; empty disables injection)")
 	faultSeed := global.Uint64("fault-seed", 0,
 		"seed for probabilistic (~p) fault rules; defaults to the run seed so a chaos schedule replays deterministically")
@@ -148,6 +149,8 @@ func run(args []string) error {
 		return cmdAttack(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "stream":
+		return cmdStream(args[1:])
 	case "info":
 		return cmdInfo(args[1:])
 	case "analyze":
@@ -182,7 +185,11 @@ subcommands:
   serve    serve a checkpoint for tape-free inference (HTTP or stdio);
            SIGTERM/SIGINT drain gracefully within -drain-timeout
            (exit 0: all accepted requests answered; exit 3: timed out
-           with requests dropped)
+           with requests dropped); -ckpt repeats to preload the cache
+  stream   event-driven streaming inference: (t,x,y,pol) events in over
+           a keepalive line protocol (stdio or -addr TCP, one session
+           per connection), one classification per rolling window out;
+           -synth digits classifies a deterministic glyph event stream
   info     inspect a checkpoint
   analyze  spike-activity and gradient-masking diagnostics vs Vth
   version  print version
@@ -206,7 +213,7 @@ global flags (before the subcommand):
                occurrence is N, N+, *, ~p (seeded probability) or
                s<shard>:occ, and action is delay:<dur>, error, torn,
                panic or exit. Fault points: grid.worker.point,
-               grid.checkpoint.write, serve.forward.
+               grid.checkpoint.write, serve.forward, stream.window.
   -fault-seed n  seed for ~p rules (default: the run seed)
 
 environment:

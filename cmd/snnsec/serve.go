@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -17,11 +18,20 @@ import (
 	"snnsec/internal/serve"
 )
 
+// multiFlag collects a repeatable string flag value.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 // cmdServe loads a checkpoint into the tape-free inference engine and
 // serves it — over HTTP on -addr, or as line-JSON on stdin/stdout with
 // -stdio. Both transports speak the same request/response objects, so a
 // served prediction can be diffed byte-for-byte against an offline run
-// (the CI smoke does exactly that).
+// (the CI smoke does exactly that). -ckpt may be repeated: the first
+// checkpoint is the default model, the rest are preloaded into the LRU
+// model cache so requests naming their fingerprint never pay a cold
+// build.
 //
 // Shutdown is graceful on SIGTERM/SIGINT: the server stops accepting,
 // /healthz flips to 503 draining, and every already-accepted request is
@@ -31,7 +41,8 @@ import (
 // other error. A second signal kills the process immediately.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	ckpt := fs.String("ckpt", "", "checkpoint path (required)")
+	var ckpts multiFlag
+	fs.Var(&ckpts, "ckpt", "checkpoint path (required; repeatable — first is the default model, the rest preload the cache)")
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	stdio := fs.Bool("stdio", false, "serve line-JSON on stdin/stdout instead of HTTP")
 	maxBatch := fs.Int("max-batch", 64, "max samples per coalesced forward pass")
@@ -44,10 +55,13 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *ckpt == "" {
+	if len(ckpts) == 0 {
 		return fmt.Errorf("serve: -ckpt is required")
 	}
-	raw, err := os.ReadFile(*ckpt)
+	if extra := len(ckpts) - 1; extra > *cacheSize {
+		return fmt.Errorf("serve: %d preloaded checkpoints would not fit the model cache (-cache %d); raise -cache", extra, *cacheSize)
+	}
+	raw, err := os.ReadFile(ckpts[0])
 	if err != nil {
 		return err
 	}
@@ -88,7 +102,19 @@ func cmdServe(args []string) error {
 	}
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "serving %s %s (fingerprint %s)\n",
-		m.Meta["model"], *ckpt, def.Fingerprint[:12])
+		m.Meta["model"], ckpts[0], def.Fingerprint[:12])
+	for _, path := range ckpts[1:] {
+		craw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		cm, err := srv.AddModel(craw)
+		if err != nil {
+			return fmt.Errorf("serve: preloading %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "preloaded %s %s (fingerprint %s)\n",
+			cm.Meta["model"], path, cm.Fingerprint[:12])
+	}
 
 	// ctx fires on the first SIGTERM/SIGINT; stop() then restores the
 	// default handlers, so a second signal kills the process outright.

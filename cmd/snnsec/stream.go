@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/core"
+	"snnsec/internal/dataset"
+	"snnsec/internal/modelio"
+	"snnsec/internal/serve"
+	"snnsec/internal/stream"
+)
+
+// cmdStream serves a checkpoint as an event-driven streaming classifier:
+// (t, x, y, polarity) events in, one classification per completed rolling
+// window out. Input is the keepalive line protocol (one Record per line)
+// on stdin/stdout, or on raw TCP with -addr where every connection is an
+// independent session with its own carried membrane state. With -synth a
+// deterministic glyph event stream is generated in-process and classified
+// to stdout — the demo and CI-smoke path.
+//
+// Shutdown on SIGTERM/SIGINT is graceful per session: the record being
+// processed finishes and its windows are answered, then the session ends.
+// Exit codes: 0 when every session drained, 3 when TCP sessions were
+// still busy after -drain-timeout, 1 for any other error. A second
+// signal kills the process immediately.
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	ckpt := fs.String("ckpt", "", "checkpoint path (required; must be an SNN checkpoint)")
+	addr := fs.String("addr", "", "TCP listen address for keepalive sessions (default: line protocol on stdin/stdout)")
+	steps := fs.Int("steps", 0, "time slices per window (default: the checkpoint's T)")
+	window := fs.Int64("window", 0, "window length in microseconds (default: 1000 per step)")
+	hop := fs.Int64("hop", 0, "hop between window starts in microseconds (default: the window length, i.e. tiling windows with carried state)")
+	synth := fs.String("synth", "", "classify a synthetic glyph event stream over these comma-separated digits (e.g. 3,7) instead of serving")
+	seed := fs.Uint64("seed", 42, "seed for the -synth event stream")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
+		"how long a SIGTERM/SIGINT shutdown waits for TCP sessions to finish their in-flight record (exit code 3 on timeout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckpt == "" {
+		return fmt.Errorf("stream: -ckpt is required")
+	}
+	raw, err := os.ReadFile(*ckpt)
+	if err != nil {
+		return err
+	}
+	m, err := modelio.FromBytes(raw)
+	if err != nil {
+		return err
+	}
+	s := core.ScaleFromEnv()
+	model, sample, err := core.BuildFromCheckpoint(s, m)
+	if err != nil {
+		return err
+	}
+	engine, err := serve.NewEngine(model, compute.Default(), sample)
+	if err != nil {
+		return err
+	}
+	if len(sample) != 3 {
+		return fmt.Errorf("stream: checkpoint expects %v input, need [channels, height, width]", sample)
+	}
+	if *steps == 0 {
+		t, err := strconv.Atoi(m.Meta["T"])
+		if err != nil {
+			return fmt.Errorf("stream: checkpoint has no time window T (is it an SNN checkpoint?); pass -steps")
+		}
+		*steps = t
+	}
+	if *window == 0 {
+		*window = int64(*steps) * 1000
+	}
+	hopUS := *hop
+	if hopUS == 0 {
+		hopUS = *window
+	}
+	sv, err := stream.NewServer(stream.Config{
+		Binner: stream.BinnerConfig{
+			H:        sample[1],
+			W:        sample[2],
+			Channels: sample[0],
+			Steps:    *steps,
+			WindowUS: *window,
+			HopUS:    *hop,
+		},
+	}, func() (stream.Runner, error) {
+		return engine.NewStatefulRunner(compute.PackSpikePlanes())
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streaming %s %s (fingerprint %s): %dx%d sensor, %d steps / %dus window, hop %dus\n",
+		m.Meta["model"], *ckpt, modelio.Fingerprint(raw)[:12],
+		sample[1], sample[2], *steps, *window, hopUS)
+
+	// ctx fires on the first SIGTERM/SIGINT; stop() then restores the
+	// default handlers, so a second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *synth != "" {
+		labels, err := parseDigits(*synth)
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		if sample[1] != sample[2] {
+			return fmt.Errorf("stream: -synth needs a square sensor, model expects %dx%d", sample[1], sample[2])
+		}
+		cfg := dataset.DefaultEventStreamConfig(labels, *seed)
+		cfg.Size = sample[1]
+		src, err := dataset.NewGlyphEventStream(cfg)
+		if err != nil {
+			return err
+		}
+		dropped, err := sv.RunSource(ctx, src, src.EndUS(), os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stream: synthetic stream done (%dus), %d partial windows dropped\n", src.EndUS(), dropped)
+		return nil
+	}
+
+	if *addr == "" {
+		// One session over stdin/stdout. Cancellation is observed between
+		// records, so the signal path finishes the in-flight record — the
+		// stdio drain never has queued work left to time out on.
+		if err := sv.ServeLines(ctx, os.Stdin, os.Stdout); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "stream: signal received, session drained")
+		}
+		return nil
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s (one streaming session per connection)\n", ln.Addr())
+	var wg sync.WaitGroup
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				if err := sv.ServeLines(ctx, c, c); err != nil {
+					fmt.Fprintf(os.Stderr, "stream: session %s: %v\n", c.RemoteAddr(), err)
+				}
+			}()
+		}
+	}()
+	select {
+	case err := <-acceptErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	ln.Close()
+	fmt.Fprintf(os.Stderr, "stream: signal received, draining sessions (max %v)\n", *drainTimeout)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		fmt.Fprintln(os.Stderr, "stream: all sessions drained")
+		return nil
+	case <-time.After(*drainTimeout):
+		return exitCodeError{code: 3, msg: fmt.Sprintf("stream: drain timed out after %v with sessions still busy", *drainTimeout)}
+	}
+}
+
+// parseDigits parses a comma-separated digit list like "3,7,1".
+func parseDigits(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 0 || d > 9 {
+			return nil, fmt.Errorf("bad digit %q (want 0-9)", part)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

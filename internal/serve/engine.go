@@ -27,20 +27,64 @@ import (
 // act is an activation flowing between layers: the dense tensor plus the
 // packed spike plane when the producer emitted a binary one. Each kernel
 // call consults the dispatch policy for the plane's density, exactly as
-// the taped ops do.
+// the taped ops do. The streaming input path feeds spike-only
+// activations (t == nil): the binner packed the events directly, so no
+// dense view of the input exists — and must never be materialised.
 type act struct {
 	t  *tensor.Tensor
 	sp *tensor.SpikeTensor
 }
 
+func (a act) dims() int {
+	if a.t != nil {
+		return a.t.Dims()
+	}
+	return a.sp.Dims()
+}
+
+func (a act) dim(i int) int {
+	if a.t != nil {
+		return a.t.Dim(i)
+	}
+	return a.sp.Dim(i)
+}
+
+func (a act) shape() []int {
+	if a.t != nil {
+		return a.t.Shape()
+	}
+	return a.sp.Shape()
+}
+
+// dense returns the dense view, materialising (and caching) it from the
+// spike plane for spike-only activations. Only the K>64 pool fallbacks
+// reach this on the streaming path — pools larger than one word are
+// unsupported by the spike kernels and unreachable in the stock models.
+func (a act) dense(be compute.Backend) *tensor.Tensor {
+	if a.t != nil {
+		return a.t
+	}
+	return a.sp.DenseOn(be)
+}
+
 // spikeFor mirrors autodiff's per-call sparse-vs-dense choice: the plane
 // when the dispatch policy selects the spike kernel for its density, nil
-// for the dense kernel. Bit-identical either way; pure speed.
-func spikeFor(sp *tensor.SpikeTensor, f compute.KernelFamily) *tensor.SpikeTensor {
-	if sp == nil || !compute.UseSparse(f, sp.Density()) {
+// for the dense kernel. Bit-identical either way; pure speed. A
+// spike-only activation always elects the spike kernel — its dense
+// operand was never materialised, and the spike kernels are pinned
+// bit-identical to the dense ones, so forcing them preserves the
+// equivalence contract.
+func (a act) spikeFor(f compute.KernelFamily) *tensor.SpikeTensor {
+	if a.sp == nil {
 		return nil
 	}
-	return sp
+	if a.t == nil {
+		return a.sp
+	}
+	if !compute.UseSparse(f, a.sp.Density()) {
+		return nil
+	}
+	return a.sp
 }
 
 // Engine runs a classifier forward without a tape. One Engine serves one
@@ -172,7 +216,11 @@ func (e *Engine) checkInput(x *tensor.Tensor) error {
 }
 
 // forwardLayer mirrors each nn layer's taped Forward with the same
-// kernel choices (see autodiff/ops.go), minus the recording.
+// kernel choices (see autodiff/ops.go), minus the recording. Spike-only
+// activations (a.t == nil, the streaming input path) take the spike
+// kernel in every branch that has one; the remaining branches are
+// either identity on binary planes (ReLU, Dropout) or pure reshapes
+// (Flatten), so no dense view is ever materialised for them.
 func (e *Engine) forwardLayer(l nn.Layer, a act) act {
 	be := e.be
 	switch v := l.(type) {
@@ -182,40 +230,47 @@ func (e *Engine) forwardLayer(l nn.Layer, a act) act {
 		}
 		return a
 	case *nn.Linear:
-		if a.t.Dims() != 2 || a.t.Dim(1) != v.In {
-			panic(fmt.Sprintf("serve: Linear(%d→%d) got input %v", v.In, v.Out, a.t.Shape()))
+		if a.dims() != 2 || a.dim(1) != v.In {
+			panic(fmt.Sprintf("serve: Linear(%d→%d) got input %v", v.In, v.Out, a.shape()))
 		}
 		var out *tensor.Tensor
-		if sp := spikeFor(a.sp, compute.KernelMatMul); sp != nil {
+		if sp := a.spikeFor(compute.KernelMatMul); sp != nil {
 			out = tensor.SpikeMatMulOn(be, sp, v.W.Data)
 		} else {
 			out = tensor.MatMulOn(be, a.t, v.W.Data)
 		}
 		return act{t: tensor.AddRowVectorOn(be, out, v.B.Data)}
 	case *nn.Conv2D:
-		if a.t.Dims() != 4 || a.t.Dim(1) != v.InChannels {
-			panic(fmt.Sprintf("serve: Conv2D(%d→%d) got input %v", v.InChannels, v.OutChannels, a.t.Shape()))
+		if a.dims() != 4 || a.dim(1) != v.InChannels {
+			panic(fmt.Sprintf("serve: Conv2D(%d→%d) got input %v", v.InChannels, v.OutChannels, a.shape()))
 		}
-		if sp := spikeFor(a.sp, compute.KernelConv); sp != nil {
+		if sp := a.spikeFor(compute.KernelConv); sp != nil {
 			return act{t: tensor.SpikeConv2DOn(be, sp, v.W.Data, v.B.Data, v.Conv)}
 		}
 		return act{t: tensor.Conv2DOn(be, a.t, v.W.Data, v.B.Data, v.Conv)}
 	case nn.ReLU:
+		if a.t == nil {
+			// ReLU is the identity on a binary plane; keep it packed.
+			return a
+		}
 		return act{t: tensor.ReLUOn(be, a.t)}
 	case nn.AvgPool:
-		if sp := spikeFor(a.sp, compute.KernelPool); sp != nil && v.K <= 64 {
+		if sp := a.spikeFor(compute.KernelPool); sp != nil && v.K <= 64 {
 			return act{t: tensor.SpikeAvgPool2DOn(be, sp, v.K)}
 		}
-		return act{t: tensor.AvgPool2DOn(be, a.t, v.K)}
+		return act{t: tensor.AvgPool2DOn(be, a.dense(be), v.K)}
 	case nn.MaxPool:
-		if sp := spikeFor(a.sp, compute.KernelPool); sp != nil && v.K <= 64 {
+		if sp := a.spikeFor(compute.KernelPool); sp != nil && v.K <= 64 {
 			out, _, spOut := tensor.SpikeMaxPool2DOn(be, sp, v.K)
 			return act{t: out, sp: spOut}
 		}
-		out, _ := tensor.MaxPool2DOn(be, a.t, v.K)
+		out, _ := tensor.MaxPool2DOn(be, a.dense(be), v.K)
 		return act{t: out}
 	case nn.Flatten:
-		n := a.t.Dim(0)
+		n := a.dim(0)
+		if a.t == nil {
+			return act{sp: a.sp.Reshape(n, a.sp.Len()/n)}
+		}
 		out := a.t.Reshape(n, -1)
 		res := act{t: out}
 		if a.sp != nil && out.Dim(0) == a.t.Dim(0) {
@@ -278,6 +333,131 @@ func (st *popState) release(be compute.Backend) {
 	}
 }
 
+// accum is a running elementwise sum of per-timestep readout
+// contributions in an arena slab. The first contribution is copied, the
+// rest added in place — acc[i] += c[i] reads the old accumulator first,
+// matching the taped Add(acc, contribution) operand order bit for bit.
+type accum struct {
+	slab []float64
+	t    *tensor.Tensor
+	n    int // timesteps accumulated
+}
+
+func (ac *accum) add(be compute.Backend, contribution []float64, shape []int) {
+	if ac.slab == nil {
+		ac.slab = be.Get(len(contribution))
+	}
+	if ac.n == 0 {
+		copy(ac.slab, contribution)
+		ac.t = tensor.FromSlice(ac.slab, shape...)
+	} else {
+		tensor.AddIntoOn(be, ac.t, tensor.FromSlice(contribution, shape...))
+	}
+	ac.n++
+}
+
+func (ac *accum) release(be compute.Backend) {
+	if ac.slab != nil {
+		be.Put(ac.slab)
+		ac.slab = nil
+		ac.t = nil
+	}
+	ac.n = 0
+}
+
+// snnState is the complete mutable state of one SNN forward: per-hidden
+// population slabs, the readout state for either mode, and the logit
+// accumulators. snnLogits owns one for the duration of a call; a
+// StatefulRunner keeps one alive across window boundaries.
+type snnState struct {
+	states   []*popState
+	outState *popState      // readout LIF population (spike-count mode)
+	outMemT  *tensor.Tensor // readout LI state (membrane mode)
+	acc      accum          // cumulative since construction / Reset
+	win      *accum         // per-window accumulator (streaming only)
+}
+
+func (e *Engine) newSNNState() *snnState {
+	return &snnState{states: make([]*popState, len(e.net.Hidden))}
+}
+
+func (st *snnState) release(be compute.Backend) {
+	for i, ps := range st.states {
+		if ps != nil {
+			ps.release(be)
+			st.states[i] = nil
+		}
+	}
+	if st.outState != nil {
+		st.outState.release(be)
+		st.outState = nil
+	}
+	st.outMemT = nil
+	st.acc.release(be)
+	if st.win != nil {
+		st.win.release(be)
+	}
+}
+
+// stepSNN advances the network one timestep on input activation a:
+// hidden synapses + fused LIF/ALIF threshold passes, then the readout,
+// accumulating the contribution into st's accumulator(s). This is the
+// shared loop body of the batch forward (snnLogits) and the streaming
+// forward (StatefulRunner.Step); keeping it single-sourced is what makes
+// their bit-identity a structural property rather than a coincidence.
+func (e *Engine) stepSNN(st *snnState, a act, packOn bool) {
+	nw := e.net
+	be := e.be
+	for l := range nw.Hidden {
+		cur := e.forwardLayer(nw.Hidden[l].Syn, a).t
+		ps := st.states[l]
+		if ps == nil {
+			ps = e.newPopState(be, cur.Shape(), nw.Hidden[l].Adapt != nil, packOn)
+			st.states[l] = ps
+		}
+		if ad := nw.Hidden[l].Adapt; ad != nil {
+			cfg := snn.AdaptiveConfig{NeuronConfig: nw.Hidden[l].Cfg, AdaptStep: ad.Step, AdaptDecay: ad.Decay}
+			snn.FusedALIFForward(be, cfg, cur.Data(), ps.mem, ps.ex, ps.spk, ps.rows, ps.bits, ps.counts)
+		} else {
+			snn.FusedLIFForward(be, nw.Hidden[l].Cfg, cur.Data(), ps.mem, ps.spk, ps.rows, ps.bits, ps.counts)
+		}
+		a = act{t: tensor.FromSlice(ps.spk, ps.shape...)}
+		if packOn {
+			// A fresh header per step over the reused word slab: the
+			// popcount index is rebuilt by the fused step, and a new
+			// header keeps the lazily cached density/dense views from
+			// leaking across timesteps.
+			a.sp = tensor.NewSpikeTensorFromBits(ps.bits, ps.counts, ps.shape...)
+		}
+	}
+	out := e.forwardLayer(nw.Readout, a).t
+	var contribution []float64
+	switch nw.Mode {
+	case snn.ReadoutSpikeCount:
+		if st.outState == nil {
+			// The readout plane feeds only the elementwise accumulator,
+			// so packing it would be pure overhead — skipping it cannot
+			// change a result (the taped path packs but never consults
+			// the plane either).
+			st.outState = e.newPopState(be, out.Shape(), false, false)
+		}
+		snn.FusedLIFForward(be, nw.ReadoutCfg, out.Data(), st.outState.mem, st.outState.spk, st.outState.rows, nil, nil)
+		contribution = st.outState.spk
+	case snn.ReadoutMembrane:
+		if st.outMemT == nil {
+			st.outMemT = tensor.New(out.Shape()...)
+		}
+		st.outMemT = tensor.AddOn(be, tensor.ScaleOn(be, st.outMemT, nw.ReadoutCfg.Alpha), out)
+		contribution = st.outMemT.Data()
+	default:
+		panic(fmt.Sprintf("serve: unknown readout mode %v", nw.Mode))
+	}
+	st.acc.add(be, contribution, out.Shape())
+	if st.win != nil {
+		st.win.add(be, contribution, out.Shape())
+	}
+}
+
 // snnLogits is the tape-free mirror of snn.Network.Logits: the same
 // T-step loop over the same kernels in the same order, with membrane and
 // accumulator state in reused arena slabs and the LIF threshold step
@@ -288,81 +468,11 @@ func (e *Engine) snnLogits(x *tensor.Tensor) *tensor.Tensor {
 	enc := nw.Encoder.(snn.ForwardEncoder)
 	packOn := compute.PackSpikePlanes()
 
-	states := make([]*popState, len(nw.Hidden))
-	var outState *popState     // readout LIF population (spike-count mode)
-	var outMemT *tensor.Tensor // readout LI state (membrane mode)
-	var accSlab []float64      // running logit accumulator
-	var accT *tensor.Tensor
-	defer func() {
-		for _, st := range states {
-			if st != nil {
-				st.release(be)
-			}
-		}
-		if outState != nil {
-			outState.release(be)
-		}
-		if accSlab != nil {
-			be.Put(accSlab)
-		}
-	}()
-
+	st := e.newSNNState()
+	defer st.release(be)
 	for t := 0; t < nw.T; t++ {
 		hT, hSp := enc.EncodeForward(be, x, t)
-		a := act{t: hT, sp: hSp}
-		for l := range nw.Hidden {
-			cur := e.forwardLayer(nw.Hidden[l].Syn, a).t
-			st := states[l]
-			if st == nil {
-				st = e.newPopState(be, cur.Shape(), nw.Hidden[l].Adapt != nil, packOn)
-				states[l] = st
-			}
-			if ad := nw.Hidden[l].Adapt; ad != nil {
-				cfg := snn.AdaptiveConfig{NeuronConfig: nw.Hidden[l].Cfg, AdaptStep: ad.Step, AdaptDecay: ad.Decay}
-				snn.FusedALIFForward(be, cfg, cur.Data(), st.mem, st.ex, st.spk, st.rows, st.bits, st.counts)
-			} else {
-				snn.FusedLIFForward(be, nw.Hidden[l].Cfg, cur.Data(), st.mem, st.spk, st.rows, st.bits, st.counts)
-			}
-			a = act{t: tensor.FromSlice(st.spk, st.shape...)}
-			if packOn {
-				// A fresh header per step over the reused word slab: the
-				// popcount index is rebuilt by the fused step, and a new
-				// header keeps the lazily cached density/dense views from
-				// leaking across timesteps.
-				a.sp = tensor.NewSpikeTensorFromBits(st.bits, st.counts, st.shape...)
-			}
-		}
-		out := e.forwardLayer(nw.Readout, a).t
-		var contribution []float64
-		switch nw.Mode {
-		case snn.ReadoutSpikeCount:
-			if outState == nil {
-				// The readout plane feeds only the elementwise accumulator,
-				// so packing it would be pure overhead — skipping it cannot
-				// change a result (the taped path packs but never consults
-				// the plane either).
-				outState = e.newPopState(be, out.Shape(), false, false)
-			}
-			snn.FusedLIFForward(be, nw.ReadoutCfg, out.Data(), outState.mem, outState.spk, outState.rows, nil, nil)
-			contribution = outState.spk
-		case snn.ReadoutMembrane:
-			if outMemT == nil {
-				outMemT = tensor.New(out.Shape()...)
-			}
-			outMemT = tensor.AddOn(be, tensor.ScaleOn(be, outMemT, nw.ReadoutCfg.Alpha), out)
-			contribution = outMemT.Data()
-		default:
-			panic(fmt.Sprintf("serve: unknown readout mode %v", nw.Mode))
-		}
-		if accSlab == nil {
-			accSlab = be.Get(len(contribution))
-			copy(accSlab, contribution)
-			accT = tensor.FromSlice(accSlab, out.Shape()...)
-		} else {
-			// acc[i] += c[i] reads the old accumulator first, matching the
-			// taped Add(acc, contribution) operand order bit for bit.
-			tensor.AddIntoOn(be, accT, tensor.FromSlice(contribution, out.Shape()...))
-		}
+		e.stepSNN(st, act{t: hT, sp: hSp}, packOn)
 	}
-	return tensor.ScaleOn(be, accT, nw.LogitScale/float64(nw.T))
+	return tensor.ScaleOn(be, st.acc.t, nw.LogitScale/float64(nw.T))
 }

@@ -30,6 +30,39 @@ type LatencyReport struct {
 // honest way to measure tail latency) and executed by a bounded pool of
 // client goroutines. Each request carries one copy of sample. Returns
 // the percentile report over successful requests.
+// MeasureLatencySweep runs MeasureLatency once per offered load, in the
+// order given (ascending loads make the knee visible: the level where
+// achieved rate stops tracking offered rate). Every level reuses the
+// same server, so the sweep measures steady-state behaviour, not cold
+// caches.
+func MeasureLatencySweep(s *Server, sample [][]float64, loads []float64, duration time.Duration, clients int) []LatencyReport {
+	reports := make([]LatencyReport, 0, len(loads))
+	for _, rps := range loads {
+		reports = append(reports, MeasureLatency(s, sample, rps, duration, clients))
+	}
+	return reports
+}
+
+// LatencyKnee returns the index of the highest offered load the server
+// kept up with — the last report whose achieved rate is at least 90% of
+// the offered rate and whose error fraction is at most 1% — or -1 when
+// no level qualifies. The next level up (if any) is past the knee:
+// offered load the server could not serve.
+func LatencyKnee(reports []LatencyReport) int {
+	knee := -1
+	for i, r := range reports {
+		total := r.Requests + r.Errors
+		if total == 0 || r.AchievedRPS < 0.9*r.OfferedRPS {
+			continue
+		}
+		if float64(r.Errors)/float64(total) > 0.01 {
+			continue
+		}
+		knee = i
+	}
+	return knee
+}
+
 func MeasureLatency(s *Server, sample [][]float64, rps float64, duration time.Duration, clients int) LatencyReport {
 	if clients <= 0 {
 		clients = 4

@@ -92,6 +92,54 @@ func TestTapeFreeThroughputGate(t *testing.T) {
 	}
 }
 
+// TestLatencyKnee pins the knee rule on synthetic sweeps: last level
+// with achieved ≥ 90% of offered and errors ≤ 1%.
+func TestLatencyKnee(t *testing.T) {
+	mk := func(offered, achieved float64, reqs, errs int) LatencyReport {
+		return LatencyReport{OfferedRPS: offered, AchievedRPS: achieved, Requests: reqs, Errors: errs}
+	}
+	cases := []struct {
+		name    string
+		reports []LatencyReport
+		want    int
+	}{
+		{"all keep up", []LatencyReport{mk(100, 99, 99, 0), mk(200, 198, 198, 0)}, 1},
+		{"saturates", []LatencyReport{mk(100, 99, 99, 0), mk(200, 195, 195, 0), mk(400, 210, 210, 0)}, 1},
+		{"errors disqualify", []LatencyReport{mk(100, 99, 90, 9), mk(200, 190, 190, 0)}, 1},
+		{"none qualify", []LatencyReport{mk(100, 50, 50, 0)}, -1},
+		{"empty level", []LatencyReport{mk(100, 0, 0, 0)}, -1},
+		{"recovery does not count backwards", []LatencyReport{mk(100, 99, 99, 0), mk(200, 100, 100, 0)}, 0},
+	}
+	for _, c := range cases {
+		if got := LatencyKnee(c.reports); got != c.want {
+			t.Errorf("%s: knee %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMeasureLatencySweep runs the sweep harness on the fast fake: one
+// report per level, in order.
+func TestMeasureLatencySweep(t *testing.T) {
+	r := &fakeRunner{sample: []int{4}, classes: 2}
+	s := newFakeServer(t, Config{BatchWait: 100 * time.Microsecond}, r, nil)
+	loads := []float64{100, 200, 400}
+	reps := MeasureLatencySweep(s, [][]float64{{1, 2, 3, 4}}, loads, 150*time.Millisecond, 4)
+	if len(reps) != len(loads) {
+		t.Fatalf("got %d reports for %d loads", len(reps), len(loads))
+	}
+	for i, rep := range reps {
+		if rep.OfferedRPS != loads[i] {
+			t.Fatalf("report %d offered %v, want %v", i, rep.OfferedRPS, loads[i])
+		}
+		if rep.Requests == 0 {
+			t.Fatalf("level %v completed no requests", loads[i])
+		}
+	}
+	if LatencyKnee(reps) == -1 {
+		t.Fatal("idle fake should keep up with at least one level")
+	}
+}
+
 // TestMeasureLatency sanity-checks the load harness itself on a fast
 // fake: the report must count every request and order its percentiles.
 func TestMeasureLatency(t *testing.T) {

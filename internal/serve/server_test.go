@@ -38,10 +38,10 @@ type fakeRunner struct {
 func (f *fakeRunner) SampleShape() []int { return f.sample }
 
 func (f *fakeRunner) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	f.calls.Add(1) // counted at entry, so tests can observe an in-flight forward
 	if f.delay > 0 {
 		time.Sleep(f.delay)
 	}
-	f.calls.Add(1)
 	n := x.Dim(0)
 	f.samples.Add(int64(n))
 	sampleLen := x.Len() / n
@@ -250,23 +250,46 @@ func TestServerDeadlineExpiry(t *testing.T) {
 // TestServerBackpressure fills a depth-1 queue behind a slow forward and
 // checks overflow fails fast with ErrOverloaded.
 func TestServerBackpressure(t *testing.T) {
-	slow := &fakeRunner{sample: []int{1}, classes: 2, delay: 50 * time.Millisecond}
+	slow := &fakeRunner{sample: []int{1}, classes: 2, delay: 300 * time.Millisecond}
 	s := newFakeServer(t, Config{MaxBatch: 1, BatchWait: time.Microsecond, QueueDepth: 1}, slow, nil)
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	queueLen := func() int {
+		s.b.mu.Lock()
+		defer s.b.mu.Unlock()
+		return len(s.b.queue)
+	}
 	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
+	filler := func() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			s.Predict(context.Background(), &PredictRequest{Inputs: [][]float64{{1}}})
 		}()
 	}
-	time.Sleep(20 * time.Millisecond) // first in the runner, second queued
+	// Stage the fillers deterministically. If both raced into the
+	// depth-1 queue at once, the second *filler* could draw the 429 and
+	// leave the queue empty for the probe — so admit the second only
+	// after the first is inside the runner, and probe only after the
+	// second is visibly parked in the queue.
+	filler()
+	waitFor("first filler to enter the runner", func() bool { return slow.calls.Load() >= 1 })
+	filler()
+	waitFor("second filler to occupy the queue", func() bool { return queueLen() == 1 })
 	start := time.Now()
 	_, err := s.Predict(context.Background(), &PredictRequest{Inputs: [][]float64{{1}}})
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("got %v, want ErrOverloaded", err)
 	}
-	if d := time.Since(start); d > 20*time.Millisecond {
+	if d := time.Since(start); d > 100*time.Millisecond {
 		t.Fatalf("overload took %v, want immediate", d)
 	}
 	wg.Wait()

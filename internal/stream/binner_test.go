@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"testing"
+
+	"snnsec/internal/tensor"
+)
+
+func collectWindows(t *testing.T, b *Binner, evs []Event, endUS int64) ([]*Window, int) {
+	t.Helper()
+	var out []*Window
+	emit := func(w *Window) error { out = append(out, w); return nil }
+	for _, ev := range evs {
+		if err := b.Add(ev, emit); err != nil {
+			t.Fatalf("Add(%+v): %v", ev, err)
+		}
+	}
+	dropped, err := b.Drain(endUS, emit)
+	if err != nil {
+		t.Fatalf("Drain(%d): %v", endUS, err)
+	}
+	return out, dropped
+}
+
+// TestBinnerTiling pins the contiguous-tiling case: every event lands in
+// exactly one window and one slice, empty windows are emitted for
+// silence, and the packed planes match a scatter-pack reference.
+func TestBinnerTiling(t *testing.T) {
+	b, err := NewBinner(BinnerConfig{H: 4, W: 4, Steps: 2, WindowUS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Config().Tiling() {
+		t.Fatal("hop defaulting to window should report Tiling")
+	}
+	evs := []Event{
+		{TimeUS: 0, X: 0, Y: 0, Pol: 1},    // window 0, slice 0
+		{TimeUS: 49, X: 1, Y: 2, Pol: 1},   // window 0, slice 0
+		{TimeUS: 50, X: 3, Y: 3, Pol: -1},  // window 0, slice 1
+		{TimeUS: 260, X: 2, Y: 1, Pol: 1},  // window 2, slice 1 (window 1 silent)
+		{TimeUS: 399, X: 2, Y: 1, Pol: 1},  // window 3, slice 1
+		{TimeUS: 399, X: 2, Y: 1, Pol: -1}, // duplicate pixel, same slice
+	}
+	wins, dropped := collectWindows(t, b, evs, 400)
+	if dropped != 0 {
+		t.Fatalf("dropped %d windows, want 0", dropped)
+	}
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want 4", len(wins))
+	}
+	wantEvents := []int{3, 0, 1, 2}
+	for i, w := range wins {
+		if w.Index != int64(i) || w.StartUS != int64(i)*100 || w.EndUS != int64(i+1)*100 {
+			t.Fatalf("window %d: index %d span [%d,%d)", i, w.Index, w.StartUS, w.EndUS)
+		}
+		if w.Events != wantEvents[i] {
+			t.Fatalf("window %d: %d events, want %d", i, w.Events, wantEvents[i])
+		}
+		if len(w.Planes) != 2 {
+			t.Fatalf("window %d: %d planes, want 2", i, len(w.Planes))
+		}
+	}
+	// Window 0 slice 0: pixels (0,0) and (2,1) set; slice 1: (3,3).
+	ref0 := tensor.ScatterSpikes([]int{0, 2*4 + 1}, 1, 1, 4, 4)
+	ref1 := tensor.ScatterSpikes([]int{3*4 + 3}, 1, 1, 4, 4)
+	for i, want := range []*tensor.SpikeTensor{ref0, ref1} {
+		got := wins[0].Planes[i]
+		if got.Count() != want.Count() {
+			t.Fatalf("window 0 plane %d: %d spikes, want %d", i, got.Count(), want.Count())
+		}
+		for c := 0; c < 16; c++ {
+			if got.Bit(0, c) != want.Bit(0, c) {
+				t.Fatalf("window 0 plane %d bit %d mismatch", i, c)
+			}
+		}
+	}
+	if wins[1].Events != 0 || wins[1].Planes[0].Count() != 0 {
+		t.Fatal("silent window 1 should be empty, not skipped")
+	}
+	// Duplicate events on one pixel in one slice pack to one bit.
+	if got := wins[3].Planes[1].Count(); got != 1 {
+		t.Fatalf("window 3 slice 1 has %d bits, want 1 (duplicates fold)", got)
+	}
+	for _, w := range wins {
+		w.Release()
+	}
+}
+
+// TestBinnerOverlap pins hop < window: an event lands in every window
+// whose span contains it, at the right per-window slice.
+func TestBinnerOverlap(t *testing.T) {
+	b, err := NewBinner(BinnerConfig{H: 2, W: 2, Steps: 2, WindowUS: 100, HopUS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Config().Tiling() {
+		t.Fatal("hop < window must not report Tiling")
+	}
+	// Event at t=60: window 0 [0,100) slice 1, window 1 [50,150) slice 0.
+	wins, dropped := collectWindows(t, b, []Event{{TimeUS: 60, X: 1, Y: 1, Pol: 1}}, 150)
+	if dropped != 1 { // window 2 [100,200) started but incomplete
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	if wins[0].Planes[0].Count() != 0 || wins[0].Planes[1].Count() != 1 {
+		t.Fatal("window 0 should hold the event in slice 1")
+	}
+	if wins[1].Planes[0].Count() != 1 || wins[1].Planes[1].Count() != 0 {
+		t.Fatal("window 1 should hold the event in slice 0")
+	}
+}
+
+// TestBinnerGapHop pins hop > window: events in the gaps belong to no
+// window.
+func TestBinnerGapHop(t *testing.T) {
+	b, err := NewBinner(BinnerConfig{H: 2, W: 2, Steps: 1, WindowUS: 50, HopUS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		{TimeUS: 10, X: 0, Y: 0, Pol: 1},  // window 0 [0,50)
+		{TimeUS: 60, X: 1, Y: 0, Pol: 1},  // gap
+		{TimeUS: 110, X: 0, Y: 1, Pol: 1}, // window 1 [100,150)
+	}
+	wins, _ := collectWindows(t, b, evs, 200)
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	if wins[0].Events != 1 || wins[1].Events != 1 {
+		t.Fatalf("events per window %d/%d, want 1/1 (gap event binned?)", wins[0].Events, wins[1].Events)
+	}
+}
+
+// TestBinnerChannels pins the 2-channel polarity split and the folded
+// default.
+func TestBinnerChannels(t *testing.T) {
+	b2, err := NewBinner(BinnerConfig{H: 2, W: 2, Channels: 2, Steps: 1, WindowUS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{{TimeUS: 1, X: 1, Y: 0, Pol: 1}, {TimeUS: 2, X: 1, Y: 0, Pol: -1}}
+	wins, _ := collectWindows(t, b2, evs, 10)
+	p := wins[0].Planes[0]
+	if got := p.Shape(); got[1] != 2 {
+		t.Fatalf("plane shape %v, want 2 channels", got)
+	}
+	if !p.Bit(0, 1) || !p.Bit(0, 4+1) || p.Count() != 2 {
+		t.Fatal("ON should land on channel 0, OFF on channel 1")
+	}
+}
+
+// TestBinnerRejects pins the strict input contract.
+func TestBinnerRejects(t *testing.T) {
+	emit := func(*Window) error { return nil }
+	b, _ := NewBinner(BinnerConfig{H: 2, W: 2, Steps: 1, WindowUS: 10})
+	if err := b.Add(Event{TimeUS: 5, X: 0, Y: 0, Pol: 1}, emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Event{TimeUS: 4, X: 0, Y: 0, Pol: 1}, emit); err == nil {
+		t.Fatal("time going backwards must be rejected")
+	}
+	if err := b.Add(Event{TimeUS: 6, X: 2, Y: 0, Pol: 1}, emit); err == nil {
+		t.Fatal("out-of-range X must be rejected")
+	}
+	if err := b.Add(Event{TimeUS: 6, X: 0, Y: 0, Pol: 0}, emit); err == nil {
+		t.Fatal("polarity 0 must be rejected")
+	}
+	if err := b.Add(Event{TimeUS: int64(MaxSilentWindows+2) * 10, X: 0, Y: 0, Pol: 1}, emit); err == nil {
+		t.Fatal("a time jump past MaxSilentWindows must be rejected")
+	}
+	if _, err := NewBinner(BinnerConfig{H: 2, W: 2, Steps: 3, WindowUS: 10}); err == nil {
+		t.Fatal("window not divisible by steps must be rejected")
+	}
+	if _, err := NewBinner(BinnerConfig{H: 2, W: 2, Channels: 3, Steps: 1, WindowUS: 10}); err == nil {
+		t.Fatal("3 channels must be rejected")
+	}
+}
+
+// TestBinnerReset pins that Reset drops open windows and suppresses the
+// empty back-fill up to the next event.
+func TestBinnerReset(t *testing.T) {
+	var wins []*Window
+	emit := func(w *Window) error { wins = append(wins, w); return nil }
+	b, _ := NewBinner(BinnerConfig{H: 2, W: 2, Steps: 1, WindowUS: 10})
+	if err := b.Add(Event{TimeUS: 5, X: 0, Y: 0, Pol: 1}, emit); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	// Far ahead: without the reset this would back-fill ~100 empty
+	// windows; with it the stream resumes at the event's own window.
+	if err := b.Add(Event{TimeUS: 1001, X: 1, Y: 1, Pol: 1}, emit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Drain(1010, emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 1 {
+		t.Fatalf("got %d windows after reset, want 1", len(wins))
+	}
+	if wins[0].Index != 100 || wins[0].Events != 1 {
+		t.Fatalf("window after reset: index %d events %d, want 100/1 (pre-reset event leaked?)", wins[0].Index, wins[0].Events)
+	}
+}

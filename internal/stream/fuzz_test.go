@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+)
+
+// Fuzz target for the streaming record parser — the byte-eating entry
+// point a keepalive connection exposes to untrusted clients. Contract as
+// for ParsePredictRequest: a value or an ErrBadRecord, never a panic,
+// never an unbounded allocation. Seed corpus in
+// testdata/fuzz/FuzzParseRecord/.
+
+func fuzzRecordSeeds() [][]byte {
+	return [][]byte{
+		[]byte(`{"events":[[10,0,0,1],[20,1,1,-1]]}`),
+		[]byte(`{"events":[],"reset":true}`),
+		[]byte(`{"end_us":500}`),
+		[]byte(`{"reset":true,"events":[[0,0,0,1]],"end_us":100}`),
+		[]byte(`{}`),
+		[]byte(`{"events":[[10,0,0,0]]}`),
+		[]byte(`{"events":[[-1,0,0,1]]}`),
+		[]byte(`{"events":[[1,1048576,0,1]]}`),
+		[]byte(`{"end_us":-1}`),
+		[]byte(`{"events":[[1,2,3]]}`),
+		[]byte(`{"events":[[1,2,3,4,5]]}`),
+		[]byte(`{"bogus":true}`),
+		[]byte(`{}{}`),
+		[]byte(`[]`),
+		[]byte(`null`),
+		[]byte(``),
+		[]byte(`{`),
+		[]byte("\xff\xfe{}"),
+	}
+}
+
+func FuzzParseRecord(f *testing.F) {
+	for _, seed := range fuzzRecordSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := ParseRecord(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("non-ErrBadRecord error: %v", err)
+			}
+			return
+		}
+		// Accepted records must satisfy the invariants the session layer
+		// relies on.
+		if len(rec.Events) > MaxRecordEvents {
+			t.Fatalf("accepted %d events", len(rec.Events))
+		}
+		for i, q := range rec.Events {
+			if q[0] < 0 {
+				t.Fatalf("accepted negative time at quad %d", i)
+			}
+			if q[1] < 0 || q[1] >= 1<<20 || q[2] < 0 || q[2] >= 1<<20 {
+				t.Fatalf("accepted out-of-range coordinates at quad %d", i)
+			}
+			if q[3] != 1 && q[3] != -1 {
+				t.Fatalf("accepted polarity %d at quad %d", q[3], i)
+			}
+			ev := rec.event(i)
+			if int64(ev.X) != q[1] || int64(ev.Y) != q[2] {
+				t.Fatalf("quad %d round-trip lost precision", i)
+			}
+		}
+		if rec.EndUS != nil && *rec.EndUS < 0 {
+			t.Fatalf("accepted negative end_us")
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"time"
+)
+
+// ThroughputReport summarises a streaming load run: how many events one
+// session binned and classified per second of wall clock. It is what
+// the streaming benchmark appends to BENCH_compute.json.
+type ThroughputReport struct {
+	// Events is the number of events consumed from the source(s).
+	Events int `json:"events"`
+	// Windows is the number of result lines emitted (completed windows,
+	// plus error lines if any window failed).
+	Windows int `json:"windows"`
+	// Dropped is the total partial windows dropped at the drains.
+	Dropped int `json:"dropped,omitempty"`
+	// Replays is how many full source replays the run completed.
+	Replays int `json:"replays"`
+	// EventsPerSec and WindowsPerSec are rates over the whole run.
+	EventsPerSec  float64 `json:"events_per_sec"`
+	WindowsPerSec float64 `json:"windows_per_sec"`
+}
+
+// countingSource counts the events handed out by the wrapped source.
+type countingSource struct {
+	src EventSource
+	n   int
+}
+
+func (c *countingSource) Read(buf []Event) (int, error) {
+	n, err := c.src.Read(buf)
+	c.n += n
+	return n, err
+}
+
+// lineCountWriter discards result lines, counting them.
+type lineCountWriter struct{ n int }
+
+func (w *lineCountWriter) Write(p []byte) (int, error) {
+	w.n += bytes.Count(p, []byte{'\n'})
+	return len(p), nil
+}
+
+// MeasureThroughput measures the event-driven hot path: it replays
+// whole streams from newSource through one session each (result lines
+// discarded) until at least minWall of wall clock has elapsed, and
+// reports event and window rates. newSource returns a fresh source and
+// the stream's end time per replay, so every replay does identical
+// work. At least one replay always runs.
+func (sv *Server) MeasureThroughput(minWall time.Duration, newSource func() (EventSource, int64, error)) (ThroughputReport, error) {
+	var rep ThroughputReport
+	start := time.Now()
+	for {
+		src, endUS, err := newSource()
+		if err != nil {
+			return rep, err
+		}
+		cs := &countingSource{src: src}
+		var w lineCountWriter
+		dropped, err := sv.RunSource(context.Background(), cs, endUS, &w)
+		if err != nil {
+			return rep, err
+		}
+		rep.Events += cs.n
+		rep.Windows += w.n
+		rep.Dropped += dropped
+		rep.Replays++
+		if time.Since(start) >= minWall {
+			break
+		}
+	}
+	wall := time.Since(start).Seconds()
+	rep.EventsPerSec = float64(rep.Events) / wall
+	rep.WindowsPerSec = float64(rep.Windows) / wall
+	return rep, nil
+}

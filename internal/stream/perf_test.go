@@ -1,0 +1,35 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureThroughput sanity-checks the load harness on the fake
+// runner: every replay does the same work and the counters add up.
+func TestMeasureThroughput(t *testing.T) {
+	evs := []Event{
+		{TimeUS: 10, X: 0, Y: 0, Pol: 1},
+		{TimeUS: 120, X: 1, Y: 1, Pol: 1},
+		{TimeUS: 260, X: 0, Y: 1, Pol: -1},
+	}
+	sv := newTestServer(t, BinnerConfig{H: 2, W: 2, Steps: 2, WindowUS: 100}, &fakeRunner{})
+	rep, err := sv.MeasureThroughput(20*time.Millisecond, func() (EventSource, int64, error) {
+		return &sliceSource{evs: evs}, 300, nil
+	})
+	if err != nil {
+		t.Fatalf("MeasureThroughput: %v", err)
+	}
+	if rep.Replays == 0 {
+		t.Fatal("no replays completed")
+	}
+	if rep.Events != 3*rep.Replays {
+		t.Fatalf("counted %d events over %d replays, want %d", rep.Events, rep.Replays, 3*rep.Replays)
+	}
+	if rep.Windows != 3*rep.Replays { // windows 0,1,2 complete by the drain at 300us
+		t.Fatalf("counted %d windows over %d replays, want %d", rep.Windows, rep.Replays, 3*rep.Replays)
+	}
+	if rep.EventsPerSec <= 0 || rep.WindowsPerSec <= 0 {
+		t.Fatalf("non-positive rates: %+v", rep)
+	}
+}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol of the streaming server: the keepalive variant of the
+// serve line protocol. One connection carries many records (one JSON
+// object per line) and receives many windowed results — one JSON line
+// per completed window as its span closes, plus error and drain lines.
+
+// MaxRecordEvents caps the events one record may carry, bounding what a
+// single line can make the parser allocate.
+const MaxRecordEvents = 65536
+
+// ErrBadRecord tags malformed records so the session can answer with an
+// error line and keep the connection alive.
+var ErrBadRecord = errors.New("stream: bad record")
+
+// Record is one client line: an event batch, a stream reset, an
+// end-of-stream marker, or any combination (applied in that order:
+// reset, events, end). An empty record is a keepalive no-op.
+type Record struct {
+	// Events holds [t_us, x, y, pol] quads in non-decreasing t_us order.
+	Events [][4]int64 `json:"events,omitempty"`
+	// Reset drops all session state — open windows and carried membrane —
+	// before the record's events are applied.
+	Reset bool `json:"reset,omitempty"`
+	// EndUS closes the stream at the given time: every window ending at
+	// or before it is emitted, later ones are dropped. The session stays
+	// open; subsequent events at or after EndUS continue the stream.
+	EndUS *int64 `json:"end_us,omitempty"`
+}
+
+// WindowResult is one server line: the classification of one completed
+// window.
+type WindowResult struct {
+	// Window is the window index on the hop grid.
+	Window  int64 `json:"window"`
+	StartUS int64 `json:"t0_us"`
+	EndUS   int64 `json:"t1_us"`
+	// Events is how many events the window binned.
+	Events int       `json:"events"`
+	Pred   int       `json:"pred"`
+	Logits []float64 `json:"logits"`
+}
+
+// ParseRecord strictly decodes one protocol line: unknown fields,
+// trailing data, oversized batches and out-of-range fields are all
+// rejected with an error wrapping ErrBadRecord — never a panic, whatever
+// the bytes (fuzz-enforced).
+func ParseRecord(b []byte) (*Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after record object", ErrBadRecord)
+	}
+	if len(rec.Events) > MaxRecordEvents {
+		return nil, fmt.Errorf("%w: %d events exceeds limit %d", ErrBadRecord, len(rec.Events), MaxRecordEvents)
+	}
+	for i, q := range rec.Events {
+		if q[0] < 0 {
+			return nil, fmt.Errorf("%w: event %d has negative time %d", ErrBadRecord, i, q[0])
+		}
+		if q[1] < 0 || q[1] >= 1<<20 || q[2] < 0 || q[2] >= 1<<20 {
+			// No real sensor is a million pixels wide; rejecting here keeps
+			// the int64→int conversion below from wrapping on 32-bit ints.
+			return nil, fmt.Errorf("%w: event %d coordinates (%d,%d) out of range", ErrBadRecord, i, q[1], q[2])
+		}
+		if q[3] != 1 && q[3] != -1 {
+			return nil, fmt.Errorf("%w: event %d has polarity %d (want +1 or -1)", ErrBadRecord, i, q[3])
+		}
+	}
+	if rec.EndUS != nil && *rec.EndUS < 0 {
+		return nil, fmt.Errorf("%w: negative end_us %d", ErrBadRecord, *rec.EndUS)
+	}
+	return &rec, nil
+}
+
+// event converts quad i to an Event. Coordinate range is the binner's
+// concern (it knows the sensor geometry); the parser only pins the
+// fields that are wrong in any geometry.
+func (r *Record) event(i int) Event {
+	q := r.Events[i]
+	return Event{TimeUS: q[0], X: int(q[1]), Y: int(q[2]), Pol: int(q[3])}
+}

@@ -1,0 +1,254 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"snnsec/internal/tensor"
+)
+
+// Runner is the stateful forward a session drives: serve.StatefulRunner
+// in production, fakes in the session tests. Step consumes one window of
+// spike planes and returns its logits; a failed Step must leave the
+// carried state as if the window never ran.
+type Runner interface {
+	Step(planes []*tensor.SpikeTensor) (*tensor.Tensor, error)
+	Reset()
+	Close()
+}
+
+// Config tunes a streaming server.
+type Config struct {
+	// Binner is the window geometry every session uses.
+	Binner BinnerConfig
+	// MaxLineBytes bounds one input line (default 8 MiB — a full
+	// MaxRecordEvents record is ~2 MiB of JSON).
+	MaxLineBytes int
+}
+
+// Server speaks the streaming line protocol: each connection gets its
+// own binner and its own stateful runner, so concurrent sessions are
+// independent streams over the same engine.
+type Server struct {
+	cfg       Config
+	newRunner func() (Runner, error)
+}
+
+// NewServer validates the window geometry and returns a server that
+// builds one runner per session with newRunner.
+func NewServer(cfg Config, newRunner func() (Runner, error)) (*Server, error) {
+	if newRunner == nil {
+		return nil, fmt.Errorf("stream: server needs a runner factory")
+	}
+	if err := cfg.Binner.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxLineBytes <= 0 {
+		cfg.MaxLineBytes = 8 << 20
+	}
+	return &Server{cfg: cfg, newRunner: newRunner}, nil
+}
+
+// session is one connection's state: binner + runner + output encoder.
+type session struct {
+	binner *Binner
+	runner Runner
+	carry  bool // tiling windows: membrane state flows across boundaries
+	enc    *json.Encoder
+	werr   error // first write error; aborts the session
+}
+
+func (sv *Server) newSession(w io.Writer) (*session, error) {
+	b, err := NewBinner(sv.cfg.Binner)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sv.newRunner()
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		binner: b,
+		runner: r,
+		carry:  sv.cfg.Binner.Tiling(),
+		enc:    json.NewEncoder(w),
+	}, nil
+}
+
+// emit classifies one completed window and writes its result line. A
+// failed window (fault injection, bad planes) produces an error line and
+// the stream continues — the runner's transactional Step guarantees the
+// carried state is untouched. Only write errors abort.
+func (s *session) emit(w *Window) error {
+	defer w.Release()
+	if !s.carry {
+		// Overlapping or gapped windows double- or under-count time, so
+		// carried membrane state would not be a continuous simulation;
+		// every window starts fresh instead.
+		s.runner.Reset()
+	}
+	logits, err := s.runner.Step(w.Planes)
+	if err != nil {
+		return s.writeError(fmt.Errorf("window %d: %w", w.Index, err))
+	}
+	return s.write(&WindowResult{
+		Window:  w.Index,
+		StartUS: w.StartUS,
+		EndUS:   w.EndUS,
+		Events:  w.Events,
+		Pred:    tensor.ArgmaxRowsOn(nil, logits)[0],
+		Logits:  append([]float64(nil), logits.Data()...),
+	})
+}
+
+func (s *session) write(v any) error {
+	if s.werr == nil {
+		s.werr = s.enc.Encode(v)
+	}
+	return s.werr
+}
+
+func (s *session) writeError(err error) error {
+	return s.write(map[string]string{"error": err.Error()})
+}
+
+// apply processes one parsed record: reset, then events, then drain.
+func (s *session) apply(rec *Record) error {
+	if rec.Reset {
+		s.binner.Reset()
+		s.runner.Reset()
+	}
+	for i := range rec.Events {
+		if err := s.binner.Add(rec.event(i), s.emit); err != nil {
+			if s.werr != nil {
+				return s.werr
+			}
+			// A rejected event (stale time, off-sensor) skips the rest of
+			// the record — later quads are ordered after it and would
+			// cascade the same error — but keeps the session alive.
+			return s.writeError(err)
+		}
+		if s.werr != nil {
+			return s.werr
+		}
+	}
+	if rec.EndUS != nil {
+		dropped, err := s.binner.Drain(*rec.EndUS, s.emit)
+		if err != nil {
+			if s.werr != nil {
+				return s.werr
+			}
+			return s.writeError(err)
+		}
+		return s.write(map[string]int{"dropped": dropped})
+	}
+	return nil
+}
+
+// ServeLines runs one streaming session over a byte stream: one Record
+// per input line, one WindowResult line per completed window (plus error
+// and drain lines), until EOF or ctx cancellation. Cancellation is
+// observed between records: the record being processed finishes and its
+// windows are answered — the keepalive analogue of the predict drain.
+func (sv *Server) ServeLines(ctx context.Context, r io.Reader, w io.Writer) error {
+	s, err := sv.newSession(w)
+	if err != nil {
+		return err
+	}
+	defer s.runner.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), sv.cfg.MaxLineBytes)
+	lines := make(chan []byte)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			line := append([]byte(nil), sc.Bytes()...)
+			select {
+			case lines <- line:
+			case <-ctx.Done():
+				return
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+	for {
+		var line []byte
+		select {
+		case <-ctx.Done():
+			return nil
+		case l, ok := <-lines:
+			if !ok {
+				select {
+				case err := <-scanErr:
+					return err
+				default:
+					// The reader quit because ctx fired mid-handoff.
+					return nil
+				}
+			}
+			line = l
+		}
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			if werr := s.writeError(err); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if err := s.apply(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// RunSource drives a whole EventSource through one session — the synth
+// and benchmark path, no wire protocol on the input side — writing the
+// same result lines ServeLines produces. endUS closes the stream
+// (usually the source's natural end time). Returns the number of
+// partial windows dropped at the drain.
+func (sv *Server) RunSource(ctx context.Context, src EventSource, endUS int64, w io.Writer) (int, error) {
+	s, err := sv.newSession(w)
+	if err != nil {
+		return 0, err
+	}
+	defer s.runner.Close()
+	buf := make([]Event, 512)
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n, rerr := src.Read(buf)
+		for _, ev := range buf[:n] {
+			if err := s.binner.Add(ev, s.emit); err != nil {
+				if s.werr != nil {
+					return 0, s.werr
+				}
+				return 0, err
+			}
+			if s.werr != nil {
+				return 0, s.werr
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return 0, rerr
+		}
+	}
+	dropped, err := s.binner.Drain(endUS, s.emit)
+	if err != nil {
+		if s.werr != nil {
+			return 0, s.werr
+		}
+		return 0, err
+	}
+	return dropped, s.werr
+}

@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"snnsec/internal/tensor"
+)
+
+// fakeRunner records the session's calls and can fail chosen steps.
+type fakeRunner struct {
+	stepped []int // plane counts per Step call
+	resets  int
+	closed  bool
+	fail    map[int]bool // 1-based Step call numbers to fail
+}
+
+func (f *fakeRunner) Step(planes []*tensor.SpikeTensor) (*tensor.Tensor, error) {
+	f.stepped = append(f.stepped, len(planes))
+	if f.fail[len(f.stepped)] {
+		return nil, fmt.Errorf("injected step failure")
+	}
+	// Logits encode the call number so result lines are distinguishable.
+	return tensor.FromSlice([]float64{float64(len(f.stepped)), 0}, 1, 2), nil
+}
+
+func (f *fakeRunner) Reset() { f.resets++ }
+func (f *fakeRunner) Close() { f.closed = true }
+
+func newTestServer(t *testing.T, cfg BinnerConfig, r *fakeRunner) *Server {
+	t.Helper()
+	sv, err := NewServer(Config{Binner: cfg}, func() (Runner, error) { return r, nil })
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return sv
+}
+
+// runLines feeds input lines through one session and returns the output
+// decoded line by line into generic maps.
+func runLines(t *testing.T, sv *Server, input string) []map[string]any {
+	t.Helper()
+	var out bytes.Buffer
+	if err := sv.ServeLines(context.Background(), strings.NewReader(input), &out); err != nil {
+		t.Fatalf("ServeLines: %v", err)
+	}
+	var results []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad output line %q: %v", line, err)
+		}
+		results = append(results, m)
+	}
+	return results
+}
+
+// TestServeLinesSession walks the whole protocol surface over a tiling
+// session: window results, malformed lines, rejected events, reset and
+// drain — all on one connection.
+func TestServeLinesSession(t *testing.T) {
+	r := &fakeRunner{}
+	sv := newTestServer(t, BinnerConfig{H: 2, W: 2, Steps: 2, WindowUS: 100}, r)
+	input := strings.Join([]string{
+		`{"events":[[10,0,0,1],[60,1,1,1]]}`,    // window 0 fills
+		`{"events":[[150,0,1,1]]}`,              // completes window 0
+		`{"bogus":true}`,                        // error line, session lives
+		`{"events":[[40,0,0,1]]}`,               // stale time: error line
+		`{"reset":true,"events":[[430,1,0,1]]}`, // reset, then window 4 opens
+		`{"end_us":500}`,                        // drains window 4
+		``,                                      // keepalive no-op
+	}, "\n")
+	out := runLines(t, sv, input)
+	if len(out) != 5 {
+		t.Fatalf("got %d output lines, want 5: %v", len(out), out)
+	}
+	if out[0]["window"] != float64(0) || out[0]["events"] != float64(2) || out[0]["pred"] != float64(0) {
+		t.Fatalf("window 0 result wrong: %v", out[0])
+	}
+	if _, ok := out[1]["error"]; !ok {
+		t.Fatalf("malformed record should answer an error line, got %v", out[1])
+	}
+	if _, ok := out[2]["error"]; !ok {
+		t.Fatalf("stale event should answer an error line, got %v", out[2])
+	}
+	if out[3]["window"] != float64(4) || out[3]["events"] != float64(1) {
+		t.Fatalf("post-reset window wrong: %v", out[3])
+	}
+	if out[4]["dropped"] != float64(0) {
+		t.Fatalf("drain line wrong: %v", out[4])
+	}
+	if r.resets != 1 {
+		t.Fatalf("runner saw %d resets, want 1", r.resets)
+	}
+	if len(r.stepped) != 2 || r.stepped[0] != 2 {
+		t.Fatalf("runner stepped %v, want two 2-plane windows", r.stepped)
+	}
+	if !r.closed {
+		t.Fatal("session end did not close the runner")
+	}
+}
+
+// TestServeLinesAutoResetWhenNotTiling pins that overlapping windows
+// reset the runner before every window — carried state only composes
+// under tiling.
+func TestServeLinesAutoResetWhenNotTiling(t *testing.T) {
+	r := &fakeRunner{}
+	sv := newTestServer(t, BinnerConfig{H: 2, W: 2, Steps: 1, WindowUS: 100, HopUS: 50}, r)
+	out := runLines(t, sv, `{"events":[[10,0,0,1]],"end_us":150}`)
+	windows := 0
+	for _, m := range out {
+		if _, ok := m["window"]; ok {
+			windows++
+		}
+	}
+	if windows == 0 {
+		t.Fatal("no windows emitted")
+	}
+	if r.resets != windows {
+		t.Fatalf("runner saw %d resets for %d windows, want one per window", r.resets, windows)
+	}
+}
+
+// TestServeLinesWindowFailureContinues pins the failure model at the
+// session layer: a failed window answers an error line and the stream
+// keeps classifying later windows.
+func TestServeLinesWindowFailureContinues(t *testing.T) {
+	r := &fakeRunner{fail: map[int]bool{2: true}}
+	sv := newTestServer(t, BinnerConfig{H: 2, W: 2, Steps: 1, WindowUS: 100}, r)
+	out := runLines(t, sv, `{"events":[[10,0,0,1],[110,0,0,1],[210,0,0,1]],"end_us":300}`)
+	if len(out) != 4 { // window 0, error, window 2, dropped
+		t.Fatalf("got %d lines, want 4: %v", len(out), out)
+	}
+	if out[0]["window"] != float64(0) {
+		t.Fatalf("first line should be window 0: %v", out[0])
+	}
+	if _, ok := out[1]["error"]; !ok {
+		t.Fatalf("failed window should answer an error line: %v", out[1])
+	}
+	if out[2]["window"] != float64(2) {
+		t.Fatalf("stream should continue with window 2: %v", out[2])
+	}
+}
+
+// TestRunSourceMatchesServeLines pins that the source-driven path and
+// the wire path produce identical window lines for the same events.
+func TestRunSourceMatchesServeLines(t *testing.T) {
+	evs := []Event{
+		{TimeUS: 10, X: 0, Y: 0, Pol: 1},
+		{TimeUS: 120, X: 1, Y: 1, Pol: 1},
+		{TimeUS: 260, X: 0, Y: 1, Pol: -1},
+	}
+	cfg := BinnerConfig{H: 2, W: 2, Steps: 2, WindowUS: 100}
+
+	var quads [][]int64
+	for _, ev := range evs {
+		quads = append(quads, []int64{ev.TimeUS, int64(ev.X), int64(ev.Y), int64(ev.Pol)})
+	}
+	line, _ := json.Marshal(map[string]any{"events": quads, "end_us": 300})
+	wireOut := runLines(t, newTestServer(t, cfg, &fakeRunner{}), string(line))
+
+	var srcBuf bytes.Buffer
+	sv := newTestServer(t, cfg, &fakeRunner{})
+	dropped, err := sv.RunSource(context.Background(), &sliceSource{evs: evs}, 300, &srcBuf)
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	var srcOut []map[string]any
+	for _, l := range strings.Split(strings.TrimSpace(srcBuf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		srcOut = append(srcOut, m)
+	}
+	// The wire path appends a dropped line; the source path returns it.
+	if wireOut[len(wireOut)-1]["dropped"] != float64(dropped) {
+		t.Fatalf("dropped mismatch: wire %v vs source %d", wireOut[len(wireOut)-1], dropped)
+	}
+	wireWindows := wireOut[:len(wireOut)-1]
+	if len(wireWindows) != len(srcOut) {
+		t.Fatalf("window counts differ: %d vs %d", len(wireWindows), len(srcOut))
+	}
+	for i := range srcOut {
+		if fmt.Sprint(wireWindows[i]) != fmt.Sprint(srcOut[i]) {
+			t.Fatalf("window %d differs: %v vs %v", i, wireWindows[i], srcOut[i])
+		}
+	}
+}
+
+// sliceSource replays a fixed event slice one event per Read call —
+// deliberately awkward chunking.
+type sliceSource struct {
+	evs []Event
+	i   int
+}
+
+func (s *sliceSource) Read(buf []Event) (int, error) {
+	if s.i >= len(s.evs) {
+		return 0, io.EOF
+	}
+	buf[0] = s.evs[s.i]
+	s.i++
+	return 1, nil
+}
