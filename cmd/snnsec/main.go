@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -45,6 +46,7 @@ import (
 	"snnsec/internal/grid"
 	"snnsec/internal/modelio"
 	"snnsec/internal/nn"
+	"snnsec/internal/obs"
 	"snnsec/internal/report"
 	"snnsec/internal/tensor"
 )
@@ -87,11 +89,20 @@ func run(args []string) error {
 			"(falls back to SNNSEC_FAULTS; empty disables injection)")
 	faultSeed := global.Uint64("fault-seed", 0,
 		"seed for probabilistic (~p) fault rules; defaults to the run seed so a chaos schedule replays deterministically")
+	printVersion := global.Bool("version", false, "print version and build identity, then exit")
 	if err := global.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
 		return err
+	}
+	// The CLI is the one armed process: metric collection is a no-op for
+	// library embedders and tests, live for every snnsec command.
+	obs.SetVersion(snnsec.Version)
+	obs.Arm()
+	if *printVersion {
+		fmt.Println("snnsec", obs.BuildString())
+		return nil
 	}
 	faultSeedSet := false
 	global.Visit(func(f *flag.Flag) {
@@ -156,7 +167,7 @@ func run(args []string) error {
 	case "analyze":
 		return cmdAnalyze(args[1:])
 	case "version":
-		fmt.Println("snnsec", snnsec.Version)
+		fmt.Println("snnsec", obs.BuildString())
 		return nil
 	case "-h", "--help", "help":
 		usage()
@@ -185,14 +196,23 @@ subcommands:
   serve    serve a checkpoint for tape-free inference (HTTP or stdio);
            SIGTERM/SIGINT drain gracefully within -drain-timeout
            (exit 0: all accepted requests answered; exit 3: timed out
-           with requests dropped); -ckpt repeats to preload the cache
+           with requests dropped); -ckpt repeats to preload the cache.
+           The HTTP handler exposes Prometheus /metrics; -pprof mounts
+           /debug/pprof/ and -trace file records per-request line-JSON
+           trace records
   stream   event-driven streaming inference: (t,x,y,pol) events in over
            a keepalive line protocol (stdio or -addr TCP, one session
            per connection), one classification per rolling window out;
-           -synth digits classifies a deterministic glyph event stream
+           -synth digits classifies a deterministic glyph event stream;
+           -metrics addr exposes Prometheus /metrics for the sessions
   info     inspect a checkpoint
   analyze  spike-activity and gradient-masking diagnostics vs Vth
-  version  print version
+  version  print version and build identity (also: snnsec -version)
+
+  grid, serve and stream accept -log-level (debug|info|warn|error) to
+  filter their stderr output; the default (info) is unchanged from
+  earlier releases. grid and stream accept -metrics addr to serve
+  Prometheus /metrics on a side listener (+ -pprof for /debug/pprof/).
 
 global flags (before the subcommand):
   -workers n   CPU budget for the tensor kernels: 1 selects the serial
@@ -215,6 +235,7 @@ global flags (before the subcommand):
                panic or exit. Fault points: grid.worker.point,
                grid.checkpoint.write, serve.forward, stream.window.
   -fault-seed n  seed for ~p rules (default: the run seed)
+  -version     print version and build identity, then exit
 
 environment:
   SNNSEC_SCALE=paper     use the paper-scale preset (slow)
@@ -261,16 +282,28 @@ func cmdGrid(args []string) error {
 		"retries per failing point (each on a different shard) before it is quarantined and the sweep completes without it; 0 selects the default (3), negative disables retries")
 	retryBackoff := fs.Duration("retry-backoff", 0,
 		"delay before a failed point's first retry; the n-th retry waits backoff<<(n-1); 0 selects the default (1s)")
+	logLevel := fs.String("log-level", "", "minimum stderr log level: debug, info (default), warn or error")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus /metrics for the sweep on this address (empty disables)")
+	pprofOn := fs.Bool("pprof", false, "also mount /debug/pprof/ on the -metrics listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lg, err := stderrLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	stopMetrics, err := startMetricsServer(*metricsAddr, *pprofOn, lg)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	s := core.ScaleFromEnv()
 	var res *explore.Result
-	var err error
 	if *shards > 0 {
 		res, err = runDistributedGrid(s, gridRunOptions{
 			shards: *shards, ckptDir: *ckptDir, resume: *resume, maxPoints: *maxPoints,
 			stallTimeout: *stallTimeout, maxRetries: *maxRetries, retryBackoff: *retryBackoff,
+			logger: lg,
 		})
 	} else {
 		if *ckptDir != "" || *resume || *maxPoints > 0 {
@@ -279,20 +312,26 @@ func cmdGrid(args []string) error {
 		if *stallTimeout != 0 || *maxRetries != 0 || *retryBackoff != 0 {
 			return fmt.Errorf("grid: -stall-timeout/-max-point-retries/-retry-backoff require -shards")
 		}
-		res, err = core.RunGrid(s, os.Stderr)
+		// The in-process sweep logs free-form progress; honour the level
+		// by silencing it entirely below info.
+		progress := io.Writer(os.Stderr)
+		if !lg.Enabled(obs.LevelInfo) {
+			progress = io.Discard
+		}
+		res, err = core.RunGrid(s, progress)
 	}
 	if err != nil {
 		return err
 	}
 	if missing := res.MissingIndices(); len(missing) > 0 {
-		fmt.Fprintf(os.Stderr, "grid: partial result, %d/%d points computed (resume with -resume -checkpoint-dir to finish)\n",
+		lg.Warnf("grid: partial result, %d/%d points computed (resume with -resume -checkpoint-dir to finish)",
 			len(res.Points)-len(missing), len(res.Points))
 	}
 	if *jsonPath != "" {
 		if err := res.SaveJSON(*jsonPath); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote grid result to %s\n", *jsonPath)
+		lg.Infof("wrote grid result to %s", *jsonPath)
 	}
 	acc := report.AccuracyGrid(res)
 	acc.WriteASCII(os.Stdout)
@@ -320,7 +359,7 @@ func cmdGrid(args []string) error {
 				return err
 			}
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(grids), *csvDir)
+		lg.Infof("wrote %d CSV files to %s", len(grids), *csvDir)
 	}
 	return nil
 }
@@ -334,6 +373,7 @@ type gridRunOptions struct {
 	stallTimeout time.Duration
 	maxRetries   int
 	retryBackoff time.Duration
+	logger       *obs.Logger
 }
 
 // runDistributedGrid shards the sweep across local grid-worker
@@ -358,7 +398,7 @@ func runDistributedGrid(s core.Scale, o gridRunOptions) (*explore.Result, error)
 		MaxPointRetries: o.maxRetries,
 		RetryBackoff:    o.retryBackoff,
 		Launch:          grid.ExecLauncher(self, "grid-worker"),
-		Log:             os.Stderr,
+		Logger:          o.logger,
 	})
 }
 

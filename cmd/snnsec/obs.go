@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"snnsec/internal/obs"
+)
+
+// stderrLogger builds the leveled stderr logger behind each
+// subcommand's -log-level flag. The default ("" → info) reproduces the
+// exact output the commands printed before levels existed: the logger
+// writes messages verbatim, levels only filter.
+func stderrLogger(level string) (*obs.Logger, error) {
+	lvl, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lvl), nil
+}
+
+// startMetricsServer exposes /metrics (and optionally /debug/pprof/) on
+// its own listener for commands that have no HTTP surface of their own
+// (grid, stream). Empty addr disables it. The returned stop function
+// closes the listener.
+func startMetricsServer(addr string, pprofOn bool, lg *obs.Logger) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	obs.MountMetrics(mux)
+	if pprofOn {
+		obs.MountPprof(mux)
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	lg.Infof("metrics on http://%s/metrics", ln.Addr())
+	return func() { hs.Close() }, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -52,7 +53,14 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 4, "LRU capacity for uploaded models")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
 		"how long a SIGTERM/SIGINT shutdown may spend answering already-accepted requests before giving up (exit code 3)")
+	logLevel := fs.String("log-level", "", "minimum stderr log level: debug, info (default), warn or error")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ on the HTTP handler alongside /metrics")
+	tracePath := fs.String("trace", "", "append one line-JSON trace record per request to this file (empty disables tracing)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lg, err := stderrLogger(*logLevel)
+	if err != nil {
 		return err
 	}
 	if len(ckpts) == 0 {
@@ -90,18 +98,29 @@ func cmdServe(args []string) error {
 		}
 		return serve.NewEngine(bm, compute.Default(), bsample)
 	}
+	var traceW io.Writer
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: opening -trace file: %w", err)
+		}
+		defer f.Close()
+		traceW = f
+	}
 	srv, err := serve.NewServer(serve.Config{
 		MaxBatch:        *maxBatch,
 		BatchWait:       *batchWait,
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		CacheSize:       *cacheSize,
+		TraceWriter:     traceW,
+		EnablePprof:     *pprofOn,
 	}, def, build)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "serving %s %s (fingerprint %s)\n",
+	lg.Infof("serving %s %s (fingerprint %s)",
 		m.Meta["model"], ckpts[0], def.Fingerprint[:12])
 	for _, path := range ckpts[1:] {
 		craw, err := os.ReadFile(path)
@@ -112,7 +131,7 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return fmt.Errorf("serve: preloading %s: %w", path, err)
 		}
-		fmt.Fprintf(os.Stderr, "preloaded %s %s (fingerprint %s)\n",
+		lg.Infof("preloaded %s %s (fingerprint %s)",
 			cm.Meta["model"], path, cm.Fingerprint[:12])
 	}
 
@@ -127,11 +146,11 @@ func cmdServe(args []string) error {
 		}
 		if ctx.Err() != nil {
 			stop()
-			fmt.Fprintln(os.Stderr, "serve: signal received, draining")
+			lg.Infof("serve: signal received, draining")
 			if derr := srv.DrainAndClose(*drainTimeout); derr != nil {
 				return exitCodeError{code: 3, msg: derr.Error()}
 			}
-			fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+			lg.Infof("serve: drained cleanly")
 		}
 		return nil
 	}
@@ -140,7 +159,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "listening on http://%s\n", ln.Addr())
+	lg.Infof("listening on http://%s", ln.Addr())
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -150,7 +169,7 @@ func cmdServe(args []string) error {
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintf(os.Stderr, "serve: signal received, draining (max %v)\n", *drainTimeout)
+	lg.Infof("serve: signal received, draining (max %v)", *drainTimeout)
 	srv.BeginDrain()
 	start := time.Now()
 	// Shutdown closes the listener and waits for in-flight handlers —
@@ -169,6 +188,6 @@ func cmdServe(args []string) error {
 	if derr := srv.DrainAndClose(remaining); derr != nil {
 		return exitCodeError{code: 3, msg: derr.Error()}
 	}
-	fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+	lg.Infof("serve: drained cleanly")
 	return nil
 }

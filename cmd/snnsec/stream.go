@@ -45,9 +45,21 @@ func cmdStream(args []string) error {
 	seed := fs.Uint64("seed", 42, "seed for the -synth event stream")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
 		"how long a SIGTERM/SIGINT shutdown waits for TCP sessions to finish their in-flight record (exit code 3 on timeout)")
+	logLevel := fs.String("log-level", "", "minimum stderr log level: debug, info (default), warn or error")
+	metricsAddr := fs.String("metrics", "", "expose /metrics on this address (empty disables)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ on the -metrics listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lg, err := stderrLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	stopMetrics, err := startMetricsServer(*metricsAddr, *pprofOn, lg)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	if *ckpt == "" {
 		return fmt.Errorf("stream: -ckpt is required")
 	}
@@ -100,7 +112,7 @@ func cmdStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "streaming %s %s (fingerprint %s): %dx%d sensor, %d steps / %dus window, hop %dus\n",
+	lg.Infof("streaming %s %s (fingerprint %s): %dx%d sensor, %d steps / %dus window, hop %dus",
 		m.Meta["model"], *ckpt, modelio.Fingerprint(raw)[:12],
 		sample[1], sample[2], *steps, *window, hopUS)
 
@@ -127,7 +139,7 @@ func cmdStream(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "stream: synthetic stream done (%dus), %d partial windows dropped\n", src.EndUS(), dropped)
+		lg.Infof("stream: synthetic stream done (%dus), %d partial windows dropped", src.EndUS(), dropped)
 		return nil
 	}
 
@@ -139,7 +151,7 @@ func cmdStream(args []string) error {
 			return err
 		}
 		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "stream: signal received, session drained")
+			lg.Infof("stream: signal received, session drained")
 		}
 		return nil
 	}
@@ -148,7 +160,7 @@ func cmdStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "listening on %s (one streaming session per connection)\n", ln.Addr())
+	lg.Infof("listening on %s (one streaming session per connection)", ln.Addr())
 	var wg sync.WaitGroup
 	acceptErr := make(chan error, 1)
 	go func() {
@@ -163,7 +175,7 @@ func cmdStream(args []string) error {
 				defer wg.Done()
 				defer c.Close()
 				if err := sv.ServeLines(ctx, c, c); err != nil {
-					fmt.Fprintf(os.Stderr, "stream: session %s: %v\n", c.RemoteAddr(), err)
+					lg.Warnf("stream: session %s: %v", c.RemoteAddr(), err)
 				}
 			}()
 		}
@@ -175,12 +187,12 @@ func cmdStream(args []string) error {
 	}
 	stop()
 	ln.Close()
-	fmt.Fprintf(os.Stderr, "stream: signal received, draining sessions (max %v)\n", *drainTimeout)
+	lg.Infof("stream: signal received, draining sessions (max %v)", *drainTimeout)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		fmt.Fprintln(os.Stderr, "stream: all sessions drained")
+		lg.Infof("stream: all sessions drained")
 		return nil
 	case <-time.After(*drainTimeout):
 		return exitCodeError{code: 3, msg: fmt.Sprintf("stream: drain timed out after %v with sessions still busy", *drainTimeout)}

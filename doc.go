@@ -26,6 +26,7 @@
 //	internal/explore   Algorithm 1: learnability + robustness exploration
 //	internal/report    heatmaps, curves, CSV/markdown rendering
 //	internal/modelio   model serialisation
+//	internal/obs       metrics, Prometheus exposition, leveled logging
 //	internal/core      experiment presets mirroring the paper's setup
 //	cmd/snnsec         command-line interface
 //	examples/          runnable example programs

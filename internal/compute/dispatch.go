@@ -143,6 +143,12 @@ func ActiveDispatchPolicy() DispatchPolicy {
 // density. Callers only consult it when a packed plane exists; without
 // one there is no choice to make.
 func UseSparse(f KernelFamily, density float64) bool {
+	sparse := useSparse(f, density)
+	countDispatch(f, sparse)
+	return sparse
+}
+
+func useSparse(f KernelFamily, density float64) bool {
 	p := ActiveDispatchPolicy()
 	switch p.Mode {
 	case DispatchSparse:

@@ -7,11 +7,13 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snnsec/internal/compute"
 	"snnsec/internal/explore"
 	"snnsec/internal/faultinject"
+	"snnsec/internal/obs"
 )
 
 // Launcher starts (or attaches) the worker for one shard and returns its
@@ -67,6 +69,15 @@ type Options struct {
 	Launch Launcher
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Logger, when non-nil, replaces Log with a leveled sink: progress at
+	// info, retries/stalls/quarantines at warn, per-point detail at info.
+	// When nil, Log is wrapped at the info level, so existing callers see
+	// exactly the output they always did.
+	Logger *obs.Logger
+	// ProgressEvery is the period of the coordinator's progress line
+	// (completed/total, elapsed, ETA) and of the heartbeat-age gauge
+	// refresh. 0 selects the default (10s); negative disables the ticker.
+	ProgressEvery time.Duration
 }
 
 // Robustness defaults; see the Options fields above.
@@ -74,6 +85,7 @@ const (
 	defaultStallTimeout    = 2 * time.Minute
 	defaultMaxPointRetries = 3
 	defaultRetryBackoff    = time.Second
+	defaultProgressEvery   = 10 * time.Second
 )
 
 // Run executes the grid job across worker processes and merges the
@@ -97,6 +109,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 	// probabilistic schedule from the run seed unless seeded explicitly,
 	// mirroring the workers.
 	faultinject.Reseed(cfg.Seed)
+	lg := opts.Logger
+	if lg == nil {
+		lg = obs.NewLogger(opts.Log, obs.LevelInfo)
+	}
 	if opts.Launch == nil {
 		return nil, fmt.Errorf("grid: no launcher configured")
 	}
@@ -123,7 +139,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 				return nil, err
 			}
 			if len(corrupt) > 0 {
-				logf(opts.Log, "grid: quarantined %d corrupt checkpoint file(s) (%s); their points will be recomputed\n",
+				lg.Warnf("grid: quarantined %d corrupt checkpoint file(s) (%s); their points will be recomputed",
 					len(corrupt), strings.Join(corrupt, ", "))
 			}
 			for idx, p := range done {
@@ -132,7 +148,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 				}
 				res.Set(idx, p)
 			}
-			logf(opts.Log, "grid: resumed %d/%d points from %s\n", len(done), len(res.Points), opts.CheckpointDir)
+			lg.Infof("grid: resumed %d/%d points from %s", len(done), len(res.Points), opts.CheckpointDir)
 		}
 	}
 	pending := res.MissingIndices()
@@ -154,7 +170,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 			kernelWorkers = 1
 		}
 	}
-	logf(opts.Log, "grid: %d points over %d shards, %d kernel workers each\n", len(pending), shards, kernelWorkers)
+	lg.Infof("grid: %d points over %d shards, %d kernel workers each", len(pending), shards, kernelWorkers)
 
 	stallTimeout := opts.StallTimeout
 	switch {
@@ -186,9 +202,20 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 		wantModel:     opts.SnapshotModels,
 		kernelWorkers: kernelWorkers,
 		stallTimeout:  stallTimeout,
-		log:           opts.Log,
+		lg:            lg,
 		total:         len(res.Points),
 		resumed:       len(res.Points) - len(pending),
+		lastMsg:       make([]atomic.Int64, shards),
+	}
+
+	progressEvery := opts.ProgressEvery
+	if progressEvery == 0 {
+		progressEvery = defaultProgressEvery
+	}
+	if progressEvery > 0 {
+		progressStop := make(chan struct{})
+		defer close(progressStop)
+		go co.progressLoop(progressEvery, progressStop)
 	}
 
 	// Cancellation: stop handing out work and close the transports so
@@ -213,7 +240,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 			// Launch failures degrade the shard count; the remaining
 			// workers absorb the block through stealing.
 			errs[w] = fmt.Errorf("grid: launching shard %d: %w", w, err)
-			logf(opts.Log, "grid: shard %d failed to launch: %v\n", w, err)
+			lg.Warnf("grid: shard %d failed to launch: %v", w, err)
 			continue
 		}
 		co.addTransport(t)
@@ -223,7 +250,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 			defer t.Close()
 			if err := co.serveShard(w, t); err != nil {
 				errs[w] = err
-				logf(opts.Log, "grid: shard %d failed: %v\n", w, err)
+				lg.Warnf("grid: shard %d failed: %v", w, err)
 			}
 		}(w, t)
 	}
@@ -241,11 +268,11 @@ func Run(ctx context.Context, spec Spec, opts Options) (*explore.Result, error) 
 	// partial result (their cells stay unset, the report renders them as
 	// missing) rather than failing everything for a few bad cells.
 	if q := co.sched.quarantined(); len(q) > 0 {
-		logf(opts.Log, "grid: %d poison point(s) quarantined after repeated failures: %v — result is partial\n", len(q), q)
+		lg.Warnf("grid: %d poison point(s) quarantined after repeated failures: %v — result is partial", len(q), q)
 	}
 	if rem := co.sched.pendingCount(); rem > 0 {
 		if co.sched.budgetExhausted() {
-			logf(opts.Log, "grid: point budget reached, %d points remain (resume from the checkpoint to continue)\n", rem)
+			lg.Infof("grid: point budget reached, %d points remain (resume from the checkpoint to continue)", rem)
 			return res, nil
 		}
 		return res, errors.Join(append([]error{fmt.Errorf("grid: run incomplete, %d points remain", rem)}, errs...)...)
@@ -263,10 +290,14 @@ type coordinator struct {
 	// stallTimeout is the resolved silence budget for an in-flight point
 	// (0 = stall detection disabled).
 	stallTimeout time.Duration
-	log          io.Writer
+	lg           *obs.Logger
 	total        int
 	// resumed counts the points already complete before this run.
 	resumed int
+	// lastMsg holds, per shard, the unix-nano stamp of the shard's most
+	// recent message; the progress ticker turns it into the heartbeat-age
+	// gauge. Zero means the shard has not spoken yet.
+	lastMsg []atomic.Int64
 
 	mu         sync.Mutex
 	res        *explore.Result
@@ -354,6 +385,8 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 	}()
 
 	inflight := -1
+	inflightGauge := metricInflight.With(shardLabel(shard))
+	defer inflightGauge.Set(0)
 	defer func() {
 		if inflight >= 0 {
 			co.pointFailed(shard, inflight, "shard lost")
@@ -375,6 +408,7 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 			if stallT != nil {
 				stallT.Stop()
 			}
+			co.lastMsg[shard].Store(time.Now().UnixNano())
 			if r.err != nil {
 				return fmt.Errorf("grid: shard %d: %w", shard, r.err)
 			}
@@ -401,6 +435,8 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 				return fmt.Errorf("grid: shard %d reported point %d, expected %d", shard, m.Index, inflight)
 			}
 			inflight = -1
+			inflightGauge.Set(0)
+			metricPointsDone.Inc()
 			co.sched.complete()
 			if err := co.record(shard, m); err != nil {
 				// A checkpoint that cannot be written voids the run's
@@ -414,6 +450,7 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 				return fmt.Errorf("grid: shard %d failed point %d, expected %d", shard, m.Index, inflight)
 			}
 			inflight = -1
+			inflightGauge.Set(0)
 			co.pointFailed(shard, m.Index, m.Err)
 		case msgReady:
 			idx, ok := co.sched.next(shard)
@@ -422,6 +459,7 @@ func (co *coordinator) serveShard(shard int, t Transport) (err error) {
 				return nil
 			}
 			inflight = idx
+			inflightGauge.Set(1)
 			if err := c.send(message{Type: msgPoint, Index: idx}); err != nil {
 				return fmt.Errorf("grid: shard %d assigning point %d: %w", shard, idx, err)
 			}
@@ -437,9 +475,11 @@ func (co *coordinator) pointFailed(shard, idx int, cause string) {
 	fails, quarantined := co.sched.fail(shard, idx)
 	switch {
 	case quarantined:
-		logf(co.log, "grid: point %d failed on shard %d (%s) — quarantined after %d failed attempts\n", idx, shard, cause, fails)
+		metricPointsQuarantined.Inc()
+		co.lg.Warnf("grid: point %d failed on shard %d (%s) — quarantined after %d failed attempts", idx, shard, cause, fails)
 	case fails > 0:
-		logf(co.log, "grid: point %d failed on shard %d (%s), retry %d scheduled\n", idx, shard, cause, fails)
+		metricPointRetries.Inc()
+		co.lg.Warnf("grid: point %d failed on shard %d (%s), retry %d scheduled", idx, shard, cause, fails)
 	}
 }
 
@@ -469,9 +509,45 @@ func (co *coordinator) record(shard int, m message) error {
 			return err
 		}
 	}
-	logf(co.log, "grid: point %d (Vth=%g, T=%d) done on shard %d [%d/%d]\n",
+	co.lg.Infof("grid: point %d (Vth=%g, T=%d) done on shard %d [%d/%d]",
 		m.Index, m.Point.Vth, m.Point.T, shard, co.resumed+co.completed, co.total)
 	return nil
+}
+
+// progressLoop periodically logs sweep progress with an ETA
+// extrapolated from the completed-point rate, and refreshes the
+// per-shard heartbeat-age gauges (an age gauge updated on receipt would
+// always read ~0; sampling on the ticker is what makes a silent shard
+// visible).
+func (co *coordinator) progressLoop(every time.Duration, stop <-chan struct{}) {
+	start := time.Now()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for i := range co.lastMsg {
+			if last := co.lastMsg[i].Load(); last > 0 {
+				metricHeartbeatAge.With(shardLabel(i)).Set(now.Sub(time.Unix(0, last)).Seconds())
+			}
+		}
+		co.mu.Lock()
+		done := co.completed
+		co.mu.Unlock()
+		newTotal := co.total - co.resumed
+		elapsed := now.Sub(start)
+		eta := ""
+		if done > 0 && done < newTotal {
+			rem := time.Duration(float64(elapsed) / float64(done) * float64(newTotal-done))
+			eta = fmt.Sprintf(", eta %v", rem.Round(time.Second))
+		}
+		co.lg.Infof("grid: progress %d/%d points, %v elapsed%s",
+			co.resumed+done, co.total, elapsed.Round(time.Second), eta)
+	}
 }
 
 // orDefault spells the empty precision tag out for error messages.
@@ -480,12 +556,6 @@ func orDefault(tag string) string {
 		return "float64"
 	}
 	return tag
-}
-
-func logf(w io.Writer, format string, args ...any) {
-	if w != nil {
-		fmt.Fprintf(w, format, args...)
-	}
 }
 
 // ---------------------------------------------------------------------------
@@ -599,6 +669,7 @@ func (s *scheduler) pop(shard int) (int, bool) {
 	q := s.queues[richest]
 	idx := q[len(q)-1]
 	s.queues[richest] = q[:len(q)-1]
+	metricSteals.Inc()
 	return idx, true
 }
 

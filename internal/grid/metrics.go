@@ -1,0 +1,28 @@
+package grid
+
+import (
+	"strconv"
+
+	"snnsec/internal/obs"
+)
+
+// Sweep telemetry. Like the serve instruments these are process-wide
+// and registered at init, so a serving or streaming binary exposes the
+// grid families (zero-valued) too; the armed CLI coordinator is the
+// only process that writes them.
+var (
+	metricPointsDone = obs.NewCounter("snnsec_grid_points_done_total",
+		"Grid points completed and merged into the result.")
+	metricPointRetries = obs.NewCounter("snnsec_grid_point_retries_total",
+		"Failed point attempts requeued for retry on another shard.")
+	metricPointsQuarantined = obs.NewCounter("snnsec_grid_points_quarantined_total",
+		"Poison points abandoned after exhausting their retry allowance.")
+	metricSteals = obs.NewCounter("snnsec_grid_steals_total",
+		"Points taken from another shard's block by an idle shard.")
+	metricInflight = obs.NewGaugeVec("snnsec_grid_inflight",
+		"Points currently in flight, per shard.", "shard")
+	metricHeartbeatAge = obs.NewGaugeVec("snnsec_grid_heartbeat_age_seconds",
+		"Seconds since each shard's last message, sampled by the progress ticker.", "shard")
+)
+
+func shardLabel(shard int) string { return strconv.Itoa(shard) }

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// version holds the module version the CLI stamps in at startup
+// (SetVersion). Library embedders that never call SetVersion report
+// "unknown" — the honest value, since the library cannot know which
+// module wrapped it.
+var version atomic.Pointer[string]
+
+func init() {
+	v := "unknown"
+	version.Store(&v)
+	// snnsec_build_info resolves its labels at scrape time, so the
+	// version label is correct even though SetVersion runs after
+	// package init.
+	NewInfoFunc("snnsec_build_info",
+		"Build and runtime identity: module version, Go version, GOARCH. Value is always 1.",
+		func() map[string]string {
+			return map[string]string{
+				"version":   Version(),
+				"goversion": runtime.Version(),
+				"goarch":    runtime.GOARCH,
+			}
+		})
+}
+
+// SetVersion records the module version reported by -version, /healthz
+// and snnsec_build_info.
+func SetVersion(v string) { version.Store(&v) }
+
+// Version returns the recorded module version.
+func Version() string { return *version.Load() }
+
+// BuildString renders the one-line build identity the -version flag
+// prints: version, Go toolchain, OS/arch.
+func BuildString() string {
+	return fmt.Sprintf("%s %s %s/%s", Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per family followed
+// by its samples, families in registration order, vector children in
+// sorted series order — so consecutive scrapes of an unchanged process
+// are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	for _, m := range r.snapshot() {
+		name := m.metricName()
+		fmt.Fprintf(&sb, "# HELP %s %s\n", name, escapeHelp(m.metricHelp()))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, m.metricType())
+		m.writeSamples(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler serves the default registry as a Prometheus /metrics
+// endpoint.
+func Handler() http.Handler { return defaultRegistry.Handler() }
+
+// Handler serves r as a Prometheus /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// MountMetrics mounts the default registry's /metrics endpoint on mux.
+func MountMetrics(mux *http.ServeMux) {
+	mux.Handle("GET /metrics", Handler())
+}
+
+// MountPprof mounts net/http/pprof under /debug/pprof/ on mux — the
+// opt-in (-pprof) profiling surface. Mounting explicitly rather than
+// importing the package for its side effect keeps profiling off the
+// DefaultServeMux and behind the flag.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, Inf spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

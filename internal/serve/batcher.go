@@ -27,6 +27,9 @@ type call struct {
 	deadline  time.Time
 	cancelled atomic.Bool
 	done      chan callResult
+	// trace is non-nil only when the server was built with a TraceWriter;
+	// the dispatcher stamps it before delivering on done.
+	trace *traceTimes
 }
 
 type callResult struct {
@@ -84,9 +87,11 @@ func (b *batcher) enqueue(c *call) error {
 	b.mu.Lock()
 	if len(b.queue) >= b.depth {
 		b.mu.Unlock()
+		metricRejected.Inc()
 		return ErrOverloaded
 	}
 	b.queue = append(b.queue, c)
+	metricQueueDepth.Set(float64(len(b.queue)))
 	b.mu.Unlock()
 	select {
 	case b.arrive <- struct{}{}:
@@ -130,6 +135,14 @@ func (b *batcher) drainAndClose(timeout time.Duration) error {
 		b.close()
 		return fmt.Errorf("serve: drain did not finish within %v", timeout)
 	}
+}
+
+// queueLen reports the current queue depth — the live value /healthz
+// exposes (metrics only sample it when collection is armed).
+func (b *batcher) queueLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
 }
 
 // retryAfter estimates, in whole seconds (≥1, capped at 60), how long a
@@ -177,12 +190,14 @@ func (b *batcher) next() *call {
 				continue
 			}
 			if !head.deadline.IsZero() && time.Now().After(head.deadline) {
+				metricDeadlineWithdrawals.Inc()
 				head.finish(callResult{err: ErrDeadline})
 				continue
 			}
 			c = head
 			break
 		}
+		metricQueueDepth.Set(float64(len(b.queue)))
 		b.mu.Unlock()
 		if c != nil {
 			return c
@@ -225,6 +240,7 @@ func (b *batcher) coalesce(first *call) []*call {
 			batch = append(batch, c)
 			n += c.n
 		}
+		metricQueueDepth.Set(float64(len(b.queue)))
 		b.mu.Unlock()
 		if n >= b.maxBatch || timeout == nil {
 			return batch
@@ -252,6 +268,7 @@ func (b *batcher) runBatch(batch []*call) {
 			continue
 		}
 		if !c.deadline.IsZero() && now.After(c.deadline) {
+			metricDeadlineWithdrawals.Inc()
 			c.finish(callResult{err: ErrDeadline})
 			continue
 		}
@@ -259,6 +276,19 @@ func (b *batcher) runBatch(batch []*call) {
 	}
 	if len(live) == 0 {
 		return
+	}
+	batchN := 0
+	for _, c := range live {
+		batchN += c.n
+	}
+	metricBatchSize.Observe(float64(batchN))
+	metricCoalescedCalls.Observe(float64(len(live)))
+	for _, c := range live {
+		if c.trace != nil {
+			c.trace.dequeued = now
+			c.trace.batchN = batchN
+			c.trace.batchCalls = len(live)
+		}
 	}
 	x := live[0].x
 	if len(live) > 1 {
@@ -275,7 +305,13 @@ func (b *batcher) runBatch(batch []*call) {
 			off += c.x.Len()
 		}
 	}
+	fwdStart := time.Now()
 	logits, err := b.forward(live[0].runner, x)
+	if fwdNS := time.Since(fwdStart).Nanoseconds(); live[0].trace != nil {
+		for _, c := range live {
+			c.trace.forwardNS = fwdNS
+		}
+	}
 	if err != nil {
 		if len(live) == 1 {
 			live[0].finish(callResult{err: err})
@@ -311,8 +347,9 @@ func (b *batcher) runBatch(batch []*call) {
 func (b *batcher) forward(r Runner, x *tensor.Tensor) (*tensor.Tensor, error) {
 	start := time.Now()
 	lg, err := safeLogits(r, x)
+	sample := time.Since(start).Nanoseconds()
+	metricForwardSeconds.Observe(float64(sample) / 1e9)
 	if err == nil {
-		sample := time.Since(start).Nanoseconds()
 		if old := b.ewmaNS.Load(); old == 0 {
 			b.ewmaNS.Store(sample)
 		} else {
@@ -330,6 +367,7 @@ func (b *batcher) forward(r Runner, x *tensor.Tensor) (*tensor.Tensor, error) {
 func safeLogits(r Runner, x *tensor.Tensor) (logits *tensor.Tensor, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			metricForwardPanics.Inc()
 			err = fmt.Errorf("serve: forward pass panicked: %v", p)
 		}
 	}()

@@ -1,0 +1,41 @@
+package serve
+
+import "snnsec/internal/obs"
+
+// Package-level instruments: registering at init means any binary that
+// links the serve package exposes these families (zero-valued until
+// traffic arrives) on /metrics, which is what the CI smoke scrapes for.
+// Instruments are process-wide, not per-Server — tests that spin up many
+// servers share them, which is safe because collection is disarmed by
+// default and the CLI owns the only armed process.
+var (
+	metricQueueDepth = obs.NewGauge("snnsec_serve_queue_depth",
+		"Requests currently waiting in the bounded predict queue.")
+	metricRequests = obs.NewCounterVec("snnsec_serve_requests_total",
+		"Predict requests answered, by checkpoint fingerprint (first 12 hex chars) and outcome.",
+		"model", "outcome")
+	metricRejected = obs.NewCounter("snnsec_serve_rejected_total",
+		"Predict requests rejected with 429 because the queue was full.")
+	metricDeadlineWithdrawals = obs.NewCounter("snnsec_serve_deadline_withdrawals_total",
+		"Requests withdrawn before a forward pass because their deadline expired.")
+	metricForwardPanics = obs.NewCounter("snnsec_serve_forward_panics_total",
+		"Forward passes that panicked and were isolated to the offending request.")
+	metricForwardSeconds = obs.NewHistogram("snnsec_serve_forward_seconds",
+		"Wall time of one coalesced forward pass.",
+		obs.ExpBuckets(0.0005, 2, 14)) // 0.5 ms .. 4 s
+	metricBatchSize = obs.NewHistogram("snnsec_serve_batch_size",
+		"Samples carried by one dispatched forward pass (batch occupancy).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	metricCoalescedCalls = obs.NewHistogram("snnsec_serve_coalesced_calls",
+		"Requests coalesced into one dispatched forward pass.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+)
+
+// fpShort truncates a checkpoint fingerprint to the 12-char prefix used
+// in metric labels and error messages.
+func fpShort(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"snnsec/internal/compute"
+	"snnsec/internal/obs"
+	"snnsec/internal/snn"
+)
+
+// TestObsDisarmedOverheadGate is the CI overhead gate for the
+// observability layer: the disarmed instrument calls one request incurs
+// on the serve hot path must cost ≤1% of that request's forward pass on
+// the throughput-gate fixture. Instrumentation cannot be compiled out,
+// so the gate measures the two sides directly: the per-request
+// instrument bundle (every metric write a request triggers through
+// enqueue → dispatch → forward → respond) against the per-forward
+// service time on the same engine and input the throughput gate uses.
+func TestObsDisarmedOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf gate skipped in -short mode")
+	}
+	if obs.Armed() {
+		t.Fatal("gate must run disarmed")
+	}
+	// The bundle mirrors the hot path: queue-gauge updates at enqueue,
+	// next and coalesce; batch-occupancy, coalesce-size and forward-
+	// latency observations; the deadline/reject counter check the error
+	// paths share; and the per-model labelled counter at respond time.
+	requestsOK := metricRequests.With("default", "ok")
+	bundle := func() {
+		metricQueueDepth.Set(1)
+		metricQueueDepth.Set(0)
+		metricQueueDepth.Set(0)
+		metricBatchSize.Observe(1)
+		metricCoalescedCalls.Observe(1)
+		metricForwardSeconds.Observe(0.001)
+		metricRejected.Inc()
+		requestsOK.Inc()
+	}
+	const iters = 1_000_000
+	bundle() // warm up
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		bundle()
+	}
+	perBundle := time.Since(start).Seconds() / iters
+	if metricRejected.Value() != 0 {
+		t.Fatal("disarmed counter advanced — overhead measurement is invalid")
+	}
+
+	net := perfNet()
+	eng, err := NewEngine(net, compute.NewSerial(), perfInput(1).Shape()[1:])
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	x := perfInput(1)
+	enc := net.Encoder.(*snn.PoissonEncoder)
+	fps := measureForwards(2*time.Second, func() {
+		enc.Reseed(eqSeed, 11)
+		if _, err := eng.Logits(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perForward := 1 / fps
+	overhead := perBundle / perForward
+	t.Logf("disarmed bundle %.1f ns, forward %.0f µs, overhead %.4f%%",
+		perBundle*1e9, perForward*1e6, overhead*100)
+	if overhead > 0.01 {
+		t.Fatalf("disarmed instrumentation overhead %.4f%% above the 1%% gate", overhead*100)
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"snnsec/internal/modelio"
+	"snnsec/internal/obs"
 	"snnsec/internal/tensor"
 )
 
@@ -70,6 +72,13 @@ type Config struct {
 	// MaxBodyBytes bounds HTTP request bodies (default 64 MiB — a
 	// checkpoint upload is the largest legitimate body).
 	MaxBodyBytes int64
+	// TraceWriter, when non-nil, receives one line-JSON TraceRecord per
+	// answered request (the -trace flag). Nil disables tracing and its
+	// entire cost.
+	TraceWriter io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler (the -pprof flag).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,8 @@ type Server struct {
 	build BuildFunc
 	cache *modelCache
 	b     *batcher
+	// trace is nil unless Config.TraceWriter was set.
+	trace *traceLog
 	// draining flips when a graceful shutdown starts: /healthz answers
 	// 503 so load balancers stop routing here, while accepted requests
 	// keep being served.
@@ -122,6 +133,7 @@ func NewServer(cfg Config, def *Model, build BuildFunc) (*Server, error) {
 		build: build,
 		cache: newModelCache(cfg.CacheSize),
 		b:     newBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth),
+		trace: newTraceLog(cfg.TraceWriter),
 	}, nil
 }
 
@@ -212,7 +224,12 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 		deadline = cd
 	}
 	c := &call{runner: m.Runner, x: x, n: n, deadline: deadline, done: make(chan callResult, 1)}
+	if s.trace != nil {
+		c.trace = &traceTimes{enq: time.Now()}
+	}
 	if err := s.b.enqueue(c); err != nil {
+		metricRequests.With(fpShort(m.Fingerprint), "rejected").Inc()
+		s.emitTrace(c, m, err, true) // never reached the dispatcher, all stamps are ours
 		return nil, err
 	}
 	timer := time.NewTimer(time.Until(deadline))
@@ -220,6 +237,8 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 	select {
 	case res := <-c.done:
 		if res.err != nil {
+			metricRequests.With(fpShort(m.Fingerprint), "error").Inc()
+			s.emitTrace(c, m, res.err, true)
 			return nil, res.err
 		}
 		logits := make([][]float64, n)
@@ -228,6 +247,8 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 		for i := range logits {
 			logits[i] = ld[i*classes : (i+1)*classes : (i+1)*classes]
 		}
+		metricRequests.With(fpShort(m.Fingerprint), "ok").Inc()
+		s.emitTrace(c, m, nil, true)
 		return &PredictResponse{
 			Model:  m.Fingerprint,
 			Logits: logits,
@@ -235,10 +256,17 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 		}, nil
 	case <-timer.C:
 		c.cancelled.Store(true)
+		metricDeadlineWithdrawals.Inc()
+		metricRequests.With(fpShort(m.Fingerprint), "deadline").Inc()
+		s.emitTrace(c, m, ErrDeadline, false)
 		return nil, ErrDeadline
 	case <-ctx.Done():
 		c.cancelled.Store(true)
-		return nil, fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())
+		metricDeadlineWithdrawals.Inc()
+		metricRequests.With(fpShort(m.Fingerprint), "deadline").Inc()
+		err := fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())
+		s.emitTrace(c, m, err, false)
+		return nil, err
 	}
 }
 
@@ -250,7 +278,11 @@ func (s *Server) Predict(ctx context.Context, req *PredictRequest) (*PredictResp
 //	POST /v1/predict  PredictRequest JSON → PredictResponse JSON
 //	POST /v1/models   raw checkpoint bytes → {"model": fingerprint, ...}
 //	GET  /v1/models   {"models": [fingerprints...]} (default first)
-//	GET  /healthz     {"ok": true}
+//	GET  /healthz     {"ok": true, "queue_depth": ..., "models_cached": ..., ...}
+//	GET  /metrics     Prometheus text exposition of the default registry
+//
+// With Config.EnablePprof, net/http/pprof is additionally mounted under
+// /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -258,14 +290,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"models": s.Models()})
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	obs.MountMetrics(mux)
+	if s.cfg.EnablePprof {
+		obs.MountPprof(mux)
+	}
 	return mux
+}
+
+// handleHealthz answers the liveness probe. Beyond the original ok/
+// draining pair (which existing probes key on), the body carries live
+// operational fields: queue depth, model-cache occupancy and build
+// identity. These read the server directly, not the metrics registry,
+// so they are accurate even when collection is disarmed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"ok":            !s.Draining(),
+		"queue_depth":   s.b.queueLen(),
+		"models_cached": s.cache.Len(),
+		"version":       obs.Version(),
+		"go":            runtime.Version(),
+		"arch":          runtime.GOARCH,
+	}
+	if s.Draining() {
+		body["draining"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {

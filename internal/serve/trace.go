@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one per-request trace line: the request's path through
+// the server, enqueue → dequeue → batch → forward → respond, as
+// monotonic durations plus the wall-clock enqueue stamp. Records are
+// emitted as line-JSON to Config.TraceWriter, one object per request,
+// written when the response is sent.
+type TraceRecord struct {
+	// ID is a process-unique request sequence number.
+	ID uint64 `json:"id"`
+	// Model is the serving fingerprint prefix (12 hex chars).
+	Model string `json:"model"`
+	// N is the number of samples the request carried.
+	N int `json:"n"`
+	// EnqueueUS is the wall-clock enqueue time, microseconds since epoch.
+	EnqueueUS int64 `json:"enq_us"`
+	// QueueNS is time spent queued before the dispatcher picked the
+	// request up.
+	QueueNS int64 `json:"queue_ns"`
+	// BatchN is the total samples in the coalesced batch this request
+	// rode in.
+	BatchN int `json:"batch_n"`
+	// BatchCalls is how many requests shared that batch.
+	BatchCalls int `json:"batch_calls"`
+	// ForwardNS is the wall time of the batch's forward pass.
+	ForwardNS int64 `json:"forward_ns"`
+	// TotalNS is enqueue to response, the client-observed latency inside
+	// the server.
+	TotalNS int64 `json:"total_ns"`
+	// Err is the error the request was answered with, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// traceLog serialises trace records onto one writer.
+type traceLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq atomic.Uint64
+}
+
+func newTraceLog(w io.Writer) *traceLog {
+	if w == nil {
+		return nil
+	}
+	return &traceLog{enc: json.NewEncoder(w)}
+}
+
+// nextID hands out the request sequence number; nil-safe because calls
+// carry a trace stamp only when tracing is on.
+func (t *traceLog) emit(rec TraceRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.enc.Encode(rec)
+	t.mu.Unlock()
+}
+
+// emitTrace writes the request's trace record. full means the requester
+// observed the dispatcher's result (the receive on c.done orders the
+// dispatcher's stamps before this read); on withdrawal paths full must
+// be false — the dispatcher may still be stamping concurrently, so only
+// requester-owned fields are read.
+func (s *Server) emitTrace(c *call, m *Model, err error, full bool) {
+	if s.trace == nil || c.trace == nil {
+		return
+	}
+	rec := TraceRecord{
+		ID:        s.trace.seq.Add(1),
+		Model:     fpShort(m.Fingerprint),
+		N:         c.n,
+		EnqueueUS: c.trace.enq.UnixMicro(),
+		TotalNS:   time.Since(c.trace.enq).Nanoseconds(),
+	}
+	if full && !c.trace.dequeued.IsZero() {
+		rec.QueueNS = c.trace.dequeued.Sub(c.trace.enq).Nanoseconds()
+		rec.BatchN = c.trace.batchN
+		rec.BatchCalls = c.trace.batchCalls
+		rec.ForwardNS = c.trace.forwardNS
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.trace.emit(rec)
+}
+
+// traceTimes rides on a call when tracing is enabled. The dispatcher
+// stamps the dequeue/batch/forward fields before delivering the result
+// on c.done, so the requester's read after receiving is ordered by the
+// channel; on the withdrawal paths (deadline, context) the requester
+// never reads these fields — the dispatcher may still be running.
+type traceTimes struct {
+	enq        time.Time
+	dequeued   time.Time
+	batchN     int
+	batchCalls int
+	forwardNS  int64
+}

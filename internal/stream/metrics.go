@@ -1,0 +1,21 @@
+package stream
+
+import "snnsec/internal/obs"
+
+// Streaming telemetry: event/window throughput plus the two quiet
+// failure modes a stream can hide — silent windows (no events landed in
+// the window) and window errors (a Step that failed and rolled back).
+// Registered at init like the other layers, so every binary's /metrics
+// carries the families.
+var (
+	metricEvents = obs.NewCounter("snnsec_stream_events_total",
+		"Sensor events accepted into binners.")
+	metricWindows = obs.NewCounter("snnsec_stream_windows_total",
+		"Windows classified (result or error line written).")
+	metricSilentWindows = obs.NewCounter("snnsec_stream_silent_windows_total",
+		"Classified windows that contained zero events.")
+	metricWindowErrors = obs.NewCounter("snnsec_stream_window_errors_total",
+		"Windows whose Step failed and was rolled back (error line written).")
+	metricSessions = obs.NewGauge("snnsec_stream_sessions",
+		"Streaming sessions currently open.")
+)

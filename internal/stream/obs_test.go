@@ -1,0 +1,47 @@
+package stream
+
+import (
+	"testing"
+
+	"snnsec/internal/obs"
+)
+
+// TestSessionMetrics drives one session while armed and checks every
+// stream family advances: events accepted, windows classified, a silent
+// window, a rolled-back window error, and the session gauge returning
+// to its starting level.
+func TestSessionMetrics(t *testing.T) {
+	obs.Arm()
+	t.Cleanup(obs.Disarm)
+	events0 := metricEvents.Value()
+	windows0 := metricWindows.Value()
+	silent0 := metricSilentWindows.Value()
+	errors0 := metricWindowErrors.Value()
+	sessions0 := metricSessions.Value()
+
+	r := &fakeRunner{fail: map[int]bool{2: true}}
+	sv := newTestServer(t, BinnerConfig{H: 2, W: 2, Steps: 2, WindowUS: 100}, r)
+	// Window 0 carries two events; window 1 is silent (events jump past
+	// it) and its Step fails, exercising the rollback counter too.
+	input := `{"events":[[10,0,0,1],[60,1,1,1],[250,0,1,1]]}` + "\n" + `{"end_us":300}`
+	out := runLines(t, sv, input)
+	if len(out) == 0 {
+		t.Fatal("no output lines")
+	}
+
+	if got := metricEvents.Value() - events0; got != 3 {
+		t.Errorf("events counted = %d, want 3", got)
+	}
+	if got := metricWindows.Value() - windows0; got != 3 {
+		t.Errorf("windows counted = %d, want 3", got)
+	}
+	if got := metricSilentWindows.Value() - silent0; got != 1 {
+		t.Errorf("silent windows counted = %d, want 1", got)
+	}
+	if got := metricWindowErrors.Value() - errors0; got != 1 {
+		t.Errorf("window errors counted = %d, want 1", got)
+	}
+	if got := metricSessions.Value(); got != sessions0 {
+		t.Errorf("session gauge = %g after session end, want %g", got, sessions0)
+	}
+}

@@ -84,6 +84,10 @@ func (sv *Server) newSession(w io.Writer) (*session, error) {
 // carried state is untouched. Only write errors abort.
 func (s *session) emit(w *Window) error {
 	defer w.Release()
+	metricWindows.Inc()
+	if w.Events == 0 {
+		metricSilentWindows.Inc()
+	}
 	if !s.carry {
 		// Overlapping or gapped windows double- or under-count time, so
 		// carried membrane state would not be a continuous simulation;
@@ -92,6 +96,7 @@ func (s *session) emit(w *Window) error {
 	}
 	logits, err := s.runner.Step(w.Planes)
 	if err != nil {
+		metricWindowErrors.Inc()
 		return s.writeError(fmt.Errorf("window %d: %w", w.Index, err))
 	}
 	return s.write(&WindowResult{
@@ -121,6 +126,7 @@ func (s *session) apply(rec *Record) error {
 		s.binner.Reset()
 		s.runner.Reset()
 	}
+	metricEvents.Add(uint64(len(rec.Events)))
 	for i := range rec.Events {
 		if err := s.binner.Add(rec.event(i), s.emit); err != nil {
 			if s.werr != nil {
@@ -158,6 +164,8 @@ func (sv *Server) ServeLines(ctx context.Context, r io.Reader, w io.Writer) erro
 	if err != nil {
 		return err
 	}
+	metricSessions.Add(1)
+	defer metricSessions.Add(-1)
 	defer s.runner.Close()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), sv.cfg.MaxLineBytes)
@@ -218,6 +226,8 @@ func (sv *Server) RunSource(ctx context.Context, src EventSource, endUS int64, w
 	if err != nil {
 		return 0, err
 	}
+	metricSessions.Add(1)
+	defer metricSessions.Add(-1)
 	defer s.runner.Close()
 	buf := make([]Event, 512)
 	for {
@@ -225,6 +235,7 @@ func (sv *Server) RunSource(ctx context.Context, src EventSource, endUS int64, w
 			return 0, err
 		}
 		n, rerr := src.Read(buf)
+		metricEvents.Add(uint64(n))
 		for _, ev := range buf[:n] {
 			if err := s.binner.Add(ev, s.emit); err != nil {
 				if s.werr != nil {
